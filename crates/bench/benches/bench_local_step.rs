@@ -1,0 +1,91 @@
+//! Criterion: one local round per algorithm — the experimental counterpart
+//! of Appendix A / Table VIII. FedProx/FedTrip/FedDyn should cost barely
+//! more than FedAvg; MOON's two extra forward passes should dominate. Also
+//! benchmarks the fused triplet kernel against its naive three-pass
+//! formulation (the fusion ablation from DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedtrip_core::algorithms::{AlgorithmKind, ClientData, ClientState, HyperParams, LocalContext};
+use fedtrip_data::synth::{DatasetKind, SampleRef, SyntheticVision};
+use fedtrip_models::ModelKind;
+use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::vecops;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let dataset = SyntheticVision::new(DatasetKind::MnistLike, 7);
+    let refs: Vec<SampleRef> = (0..50u32)
+        .map(|i| SampleRef {
+            class: (i % 10) as u16,
+            id: i / 10,
+        })
+        .collect();
+    let template = ModelKind::Cnn.build(&[1, 28, 28], 10, 7);
+    let global = template.params_flat();
+    let hp = HyperParams::default();
+
+    let mut g = c.benchmark_group("local_round_cnn_batch50");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in AlgorithmKind::ALL {
+        let alg = kind.build(&hp);
+        g.bench_function(kind.name(), |bench| {
+            bench.iter(|| {
+                let mut net = template.clone();
+                net.set_params_flat(&global);
+                let mut state = ClientState {
+                    last_round: Some(1),
+                    historical: Some(global.clone()),
+                    correction: None,
+                };
+                let ctx = LocalContext {
+                    round: 2,
+                    client_id: 0,
+                    global: &global,
+                    gap: Some(1),
+                    epochs: 1,
+                    batch_size: 50,
+                    lr: 0.01,
+                    momentum: 0.9,
+                    seed: 7,
+                };
+                let data = ClientData {
+                    dataset: &dataset,
+                    refs: &refs,
+                };
+                black_box(alg.local_train(&mut net, &data, &mut state, &ctx));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_triplet_kernel(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut rng = Prng::seed_from_u64(3);
+    let w: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+    let glob: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+    let hist: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+    let grads: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+
+    let mut g = c.benchmark_group("triplet_adjust_1M_params");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("fused", |bench| {
+        bench.iter(|| {
+            let mut gbuf = grads.clone();
+            vecops::triplet_adjust(&mut gbuf, 0.4, 1.0, &w, &glob, &hist);
+            black_box(&gbuf);
+        })
+    });
+    g.bench_function("naive_three_pass", |bench| {
+        bench.iter(|| {
+            let mut gbuf = grads.clone();
+            vecops::triplet_adjust_naive(&mut gbuf, 0.4, 1.0, &w, &glob, &hist);
+            black_box(&gbuf);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(local_step, bench_algorithms, bench_triplet_kernel);
+criterion_main!(local_step);

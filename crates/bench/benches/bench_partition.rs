@@ -1,0 +1,44 @@
+//! Criterion: partitioner throughput (Dirichlet / orthogonal / IID) and
+//! batch synthesis cost of the procedural dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedtrip_data::partition::{HeterogeneityKind, Partition};
+use fedtrip_data::synth::{DatasetKind, SampleRef, SyntheticVision};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_partition(c: &mut Criterion) {
+    let spec = DatasetKind::MnistLike.spec();
+    let mut g = c.benchmark_group("partition_10_clients");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, kind) in [
+        ("iid", HeterogeneityKind::Iid),
+        ("dir_0.5", HeterogeneityKind::Dirichlet(0.5)),
+        ("dir_0.1", HeterogeneityKind::Dirichlet(0.1)),
+        ("orthogonal_5", HeterogeneityKind::Orthogonal(5)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |bench, &k| {
+            bench.iter(|| black_box(Partition::build(&spec, k, 10, 3)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let ds = SyntheticVision::new(DatasetKind::MnistLike, 5);
+    let refs: Vec<SampleRef> = (0..50u32)
+        .map(|i| SampleRef {
+            class: (i % 10) as u16,
+            id: i,
+        })
+        .collect();
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("batch_50_mnist", |bench| {
+        bench.iter(|| black_box(ds.batch(&refs)))
+    });
+    g.finish();
+}
+
+criterion_group!(partition, bench_partition, bench_synthesis);
+criterion_main!(partition);

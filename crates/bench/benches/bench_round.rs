@@ -1,0 +1,54 @@
+//! Criterion: one complete federated round (selection, local training of
+//! K clients, aggregation, evaluation) per algorithm on the smoke-scale
+//! configuration — measures engine overhead beyond raw training compute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedtrip_core::algorithms::{AlgorithmKind, HyperParams};
+use fedtrip_core::engine::{Simulation, SimulationConfig};
+use fedtrip_data::partition::HeterogeneityKind;
+use fedtrip_data::synth::DatasetKind;
+use fedtrip_models::ModelKind;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cfg() -> SimulationConfig {
+    SimulationConfig {
+        dataset: DatasetKind::MnistLike,
+        model: ModelKind::TinyMlp,
+        heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+        n_clients: 10,
+        clients_per_round: 4,
+        rounds: 1_000_000, // never auto-stops inside the bench loop
+        local_epochs: 1,
+        batch_size: 25,
+        lr: 0.05,
+        momentum: 0.9,
+        seed: 11,
+        test_per_class: 10,
+        client_samples_override: Some(100),
+        eval_every: 1,
+        ..SimulationConfig::default()
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fl_round_tinymlp_4of10");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for kind in [
+        AlgorithmKind::FedAvg,
+        AlgorithmKind::FedTrip,
+        AlgorithmKind::Moon,
+        AlgorithmKind::Scaffold,
+    ] {
+        g.bench_function(kind.name(), |bench| {
+            let mut sim = Simulation::new(cfg(), kind.build(&HyperParams::default()));
+            bench.iter(|| {
+                black_box(sim.run_round());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(round, bench_rounds);
+criterion_main!(round);

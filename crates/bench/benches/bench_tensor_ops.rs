@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the tensor substrate kernels: SGEMM,
+//! convolution lowering (im2col+GEMM vs direct — the ablation DESIGN.md
+//! calls out), and the elementwise ops that dominate regularizer cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedtrip_tensor::conv::{conv2d_direct, im2col, ConvGeom};
+use fedtrip_tensor::linalg::sgemm;
+use fedtrip_tensor::rng::Prng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_sgemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sgemm");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[64usize, 128, 256] {
+        let mut rng = Prng::seed_from_u64(1);
+        let a: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n * n).map(|_| rng.normal()).collect();
+        let mut out = vec![0.0f32; n * n];
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                sgemm(n, n, n, black_box(&a), black_box(&b), &mut out);
+                black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv_lowering(c: &mut Criterion) {
+    // LeNet conv2 geometry: the hottest convolution in the CNN experiments
+    let geom = ConvGeom {
+        in_c: 6,
+        in_h: 14,
+        in_w: 14,
+        out_c: 16,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let mut rng = Prng::seed_from_u64(2);
+    let img: Vec<f32> = (0..geom.in_c * geom.in_h * geom.in_w)
+        .map(|_| rng.normal())
+        .collect();
+    let w: Vec<f32> = (0..geom.out_c * geom.col_rows()).map(|_| rng.normal()).collect();
+    let bias = vec![0.0f32; geom.out_c];
+
+    let mut g = c.benchmark_group("conv2d_lenet_conv2");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("im2col_gemm", |bench| {
+        let mut col = vec![0.0f32; geom.col_rows() * geom.col_cols()];
+        let mut out = vec![0.0f32; geom.out_c * geom.col_cols()];
+        bench.iter(|| {
+            im2col(&geom, black_box(&img), &mut col);
+            sgemm(geom.out_c, geom.col_rows(), geom.col_cols(), &w, &col, &mut out);
+            black_box(&out);
+        })
+    });
+    g.bench_function("direct", |bench| {
+        let mut out = vec![0.0f32; geom.out_c * geom.col_cols()];
+        bench.iter(|| {
+            conv2d_direct(&geom, black_box(&img), &w, &bias, &mut out);
+            black_box(&out);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(tensor_ops, bench_sgemm, bench_conv_lowering);
+criterion_main!(tensor_ops);

@@ -1,0 +1,29 @@
+//! Criterion: t-SNE embedding cost (Fig. 2 tooling) as a function of the
+//! number of embedded points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedtrip_metrics::tsne::{Tsne, TsneConfig};
+use fedtrip_tensor::rng::Prng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsne_embed");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[30usize, 60] {
+        let mut rng = Prng::seed_from_u64(9);
+        let data: Vec<f32> = (0..n * 16).map(|_| rng.normal()).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let t = Tsne::new(TsneConfig {
+                perplexity: 8.0,
+                iterations: 100,
+                ..TsneConfig::default()
+            });
+            bench.iter(|| black_box(t.embed(&data, 16)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(tsne, bench_tsne);
+criterion_main!(tsne);

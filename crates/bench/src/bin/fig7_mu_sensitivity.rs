@@ -1,0 +1,132 @@
+//! Fig. 7 — sensitivity of FedTrip to `mu`: final accuracy and rounds to
+//! the 90%-of-plateau target as `mu` sweeps 0.1 → 2.5, for CNN/MNIST under
+//! Dir-0.1, Dir-0.5 and Orthogonal-5, and MLP/FMNIST under Dir-0.5.
+//!
+//! Also runs the `xi` ablation DESIGN.md calls out: the paper's
+//! participation-gap `xi` versus a fixed `xi = 1`.
+
+use fedtrip_bench::cells::run_or_load;
+use fedtrip_bench::Cli;
+use fedtrip_core::algorithms::{AlgorithmKind, XiMode};
+use fedtrip_core::experiment::ExperimentSpec;
+use fedtrip_data::partition::HeterogeneityKind;
+use fedtrip_data::synth::DatasetKind;
+use fedtrip_metrics::report::{save_json, Table};
+use fedtrip_models::ModelKind;
+use serde_json::json;
+
+const MUS: [f32; 7] = [0.1, 0.4, 0.8, 1.2, 1.5, 2.0, 2.5];
+
+fn main() {
+    let cli = Cli::parse();
+    cli.banner("Fig. 7 — FedTrip mu sensitivity (+ xi ablation)");
+
+    let panels: [(DatasetKind, ModelKind, HeterogeneityKind); 4] = [
+        (DatasetKind::MnistLike, ModelKind::Cnn, HeterogeneityKind::Dirichlet(0.1)),
+        (DatasetKind::MnistLike, ModelKind::Cnn, HeterogeneityKind::Dirichlet(0.5)),
+        (DatasetKind::MnistLike, ModelKind::Cnn, HeterogeneityKind::Orthogonal(5)),
+        (DatasetKind::FmnistLike, ModelKind::Mlp, HeterogeneityKind::Dirichlet(0.5)),
+    ];
+
+    let mut artifacts = Vec::new();
+    for (dataset, model, het) in panels {
+        println!("--- {} / {} under {} ---", model.name(), dataset.name(), het.name());
+        // reference plateau at the paper's mu to define the rounds target
+        let mut results = Vec::new();
+        for &mu in &MUS {
+            let spec = ExperimentSpec {
+                dataset,
+                model,
+                heterogeneity: het,
+                n_clients: 10,
+                clients_per_round: 4,
+                rounds: 100,
+                local_epochs: 1,
+                algorithm: AlgorithmKind::FedTrip,
+                hyper: {
+                    let mut h = ExperimentSpec::paper_hyper(dataset, model);
+                    h.fedtrip_mu = mu;
+                    h
+                },
+                scale: cli.scale,
+                seed: cli.seed,
+            };
+            let cell = run_or_load(&cli.results, &spec);
+            // "final accuracy" in Fig. 7 = best test accuracy over training
+            let best = cell
+                .accuracies()
+                .into_iter()
+                .fold(f64::NEG_INFINITY, f64::max);
+            results.push((mu, best, cell));
+        }
+        let best_overall = results
+            .iter()
+            .map(|(_, b, _)| *b)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let target = best_overall * 0.9;
+
+        let mut t = Table::new(
+            format!("target = {:.1}% (90% of best-over-mu)", target * 100.0),
+            &["mu", "best acc %", "rounds to target"],
+        );
+        for (mu, best, cell) in &results {
+            t.row(&[
+                format!("{mu}"),
+                format!("{:.2}", best * 100.0),
+                cell.rounds_to(target)
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| format!(">{}", cell.records.len())),
+            ]);
+            artifacts.push(json!({
+                "dataset": dataset.name(),
+                "model": model.name(),
+                "heterogeneity": het.name(),
+                "mu": mu,
+                "best_accuracy": best,
+                "rounds_to_target": cell.rounds_to(target),
+            }));
+        }
+        println!("{}", t.render());
+    }
+
+    // xi ablation: inverse-gap (the faithful reading of the paper's theory)
+    // vs raw gap (the literal prose reading — diverges) vs fixed xi = 1
+    println!("--- xi ablation (CNN/MNIST, Dir-0.5, mu = 0.4) ---");
+    let mut t = Table::new("xi mode", &["mode", "best acc %", "final acc %"]);
+    for (label, mode) in [
+        ("1/gap (paper theory)", XiMode::Gap),
+        ("raw gap (prose; unstable)", XiMode::RawGap),
+        ("fixed 1.0", XiMode::Fixed(1.0)),
+    ] {
+        let spec = ExperimentSpec {
+            dataset: DatasetKind::MnistLike,
+            model: ModelKind::Cnn,
+            heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+            n_clients: 10,
+            clients_per_round: 4,
+            rounds: 100,
+            local_epochs: 1,
+            algorithm: AlgorithmKind::FedTrip,
+            hyper: {
+                let mut h = ExperimentSpec::paper_hyper(DatasetKind::MnistLike, ModelKind::Cnn);
+                h.fedtrip_mu = 0.4;
+                h.xi_mode = mode;
+                h
+            },
+            scale: cli.scale,
+            seed: cli.seed,
+        };
+        let cell = run_or_load(&cli.results, &spec);
+        let best = cell.accuracies().into_iter().fold(f64::NEG_INFINITY, f64::max);
+        t.row(&[
+            label.to_string(),
+            format!("{:.2}", best * 100.0),
+            format!("{:.2}", cell.final_accuracy(10) * 100.0),
+        ]);
+        artifacts.push(json!({"ablation": "xi", "mode": label, "best_accuracy": best}));
+    }
+    println!("{}", t.render());
+
+    let path = save_json(&cli.results, "fig7_mu_sensitivity", &artifacts).expect("write artifact");
+    println!("artifact: {}", path.display());
+}

@@ -1,0 +1,179 @@
+//! `flrun` — run any single federated experiment from the command line.
+//!
+//! ```bash
+//! cargo run --release -p fedtrip-bench --bin flrun -- \
+//!     --alg fedtrip --dataset mnist --model cnn --het dir0.5 \
+//!     --clients 10 --per-round 4 --rounds 30 --mu 0.4 \
+//!     --scale default --checkpoint run.json
+//! ```
+//!
+//! Prints the accuracy trajectory and summary; optionally checkpoints the
+//! finished run so it can be extended later with `--resume run.json
+//! --rounds N`.
+
+use fedtrip_core::algorithms::AlgorithmKind;
+use fedtrip_core::checkpoint::Checkpoint;
+use fedtrip_core::experiment::{ExperimentSpec, Scale};
+use fedtrip_data::partition::HeterogeneityKind;
+use fedtrip_data::synth::DatasetKind;
+use fedtrip_models::ModelKind;
+use std::path::PathBuf;
+
+fn die(msg: &str) -> ! {
+    eprintln!("flrun: {msg}");
+    eprintln!(
+        "usage: flrun [--alg NAME] [--dataset mnist|fmnist|emnist|cifar] \
+         [--model mlp|cnn|alexnet|cifarcnn] [--het iid|dirA|orthK] \
+         [--clients N] [--per-round K] [--rounds T] [--epochs E] [--mu X] \
+         [--seed S] [--scale smoke|default|paper] [--checkpoint FILE] \
+         [--resume FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_het(s: &str) -> Option<HeterogeneityKind> {
+    let l = s.to_ascii_lowercase();
+    if l == "iid" {
+        return Some(HeterogeneityKind::Iid);
+    }
+    if let Some(a) = l.strip_prefix("dir") {
+        return a.parse().ok().map(HeterogeneityKind::Dirichlet);
+    }
+    if let Some(k) = l.strip_prefix("orth") {
+        return k.parse().ok().map(HeterogeneityKind::Orthogonal);
+    }
+    None
+}
+
+fn parse_dataset(s: &str) -> Option<DatasetKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "mnist" => Some(DatasetKind::MnistLike),
+        "fmnist" => Some(DatasetKind::FmnistLike),
+        "emnist" => Some(DatasetKind::EmnistLike),
+        "cifar" | "cifar10" => Some(DatasetKind::Cifar10Like),
+        _ => None,
+    }
+}
+
+fn parse_model(s: &str) -> Option<ModelKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "mlp" => Some(ModelKind::Mlp),
+        "cnn" => Some(ModelKind::Cnn),
+        "alexnet" => Some(ModelKind::AlexNet),
+        "cifarcnn" => Some(ModelKind::CifarCnn),
+        "tinymlp" => Some(ModelKind::TinyMlp),
+        "tinycnn" => Some(ModelKind::TinyCnn),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut spec = ExperimentSpec::quickstart().with_scale(Scale::Default);
+    spec.rounds = 30;
+    let mut checkpoint: Option<PathBuf> = None;
+    let mut resume: Option<PathBuf> = None;
+    let mut extra_rounds: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let val = || -> &str {
+            args.get(i + 1)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| die(&format!("missing value for {}", args[i])))
+        };
+        match args[i].as_str() {
+            "--alg" => {
+                spec.algorithm =
+                    AlgorithmKind::parse(val()).unwrap_or_else(|| die("unknown --alg"))
+            }
+            "--dataset" => {
+                spec.dataset = parse_dataset(val()).unwrap_or_else(|| die("unknown --dataset"))
+            }
+            "--model" => spec.model = parse_model(val()).unwrap_or_else(|| die("unknown --model")),
+            "--het" => {
+                spec.heterogeneity = parse_het(val()).unwrap_or_else(|| die("unknown --het"))
+            }
+            "--clients" => spec.n_clients = val().parse().unwrap_or_else(|_| die("bad --clients")),
+            "--per-round" => {
+                spec.clients_per_round = val().parse().unwrap_or_else(|_| die("bad --per-round"))
+            }
+            "--rounds" => {
+                let r: usize = val().parse().unwrap_or_else(|_| die("bad --rounds"));
+                spec.rounds = r;
+                extra_rounds = Some(r);
+            }
+            "--epochs" => {
+                spec.local_epochs = val().parse().unwrap_or_else(|_| die("bad --epochs"))
+            }
+            "--mu" => spec.hyper.fedtrip_mu = val().parse().unwrap_or_else(|_| die("bad --mu")),
+            "--seed" => spec.seed = val().parse().unwrap_or_else(|_| die("bad --seed")),
+            "--scale" => spec.scale = Scale::parse(val()).unwrap_or_else(|| die("bad --scale")),
+            "--checkpoint" => checkpoint = Some(PathBuf::from(val())),
+            "--resume" => resume = Some(PathBuf::from(val())),
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 2;
+    }
+
+    let mut sim = match &resume {
+        Some(path) => {
+            let ckpt = Checkpoint::load(path).unwrap_or_else(|e| die(&format!("resume: {e}")));
+            println!(
+                "resuming {} on {} from round {}",
+                ckpt.algorithm.name(),
+                ckpt.config.dataset.name(),
+                ckpt.round
+            );
+            spec.algorithm = ckpt.algorithm;
+            spec.hyper = ckpt.hyper;
+            let mut sim = ckpt.restore();
+            if let Some(r) = extra_rounds {
+                sim.extend_rounds(r);
+            }
+            sim
+        }
+        None => {
+            println!(
+                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?}",
+                spec.algorithm.name(),
+                spec.model.name(),
+                spec.dataset.name(),
+                spec.heterogeneity.name(),
+                spec.clients_per_round,
+                spec.n_clients,
+                spec.rounds,
+                spec.scale
+            );
+            spec.build()
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    sim.run();
+    let records = sim.records();
+    println!("\nround  acc%    loss    cum-GFLOPs  cum-comm-MB");
+    let step = (records.len() / 15).max(1);
+    for r in records.iter().step_by(step) {
+        println!(
+            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}",
+            r.round,
+            r.accuracy.unwrap_or(f64::NAN) * 100.0,
+            r.mean_loss,
+            r.cum_flops / 1e9,
+            r.cum_comm_bytes / 1e6
+        );
+    }
+    println!(
+        "\nfinal accuracy (last 10 evals): {:.2}%   wall: {:.1?}",
+        sim.final_accuracy(10) * 100.0,
+        t0.elapsed()
+    );
+
+    if let Some(path) = checkpoint {
+        Checkpoint::capture(&sim, spec.algorithm, spec.hyper)
+            .save(&path)
+            .unwrap_or_else(|e| die(&format!("checkpoint: {e}")));
+        println!("checkpoint written to {}", path.display());
+    }
+}

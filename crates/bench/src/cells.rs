@@ -1,0 +1,197 @@
+//! Cached experiment-cell execution.
+//!
+//! A *cell* is one complete simulation run (spec + seed). Because several
+//! tables/figures share cells (Table IV and Table V report the same runs in
+//! different units; Fig. 5's Dir-0.5 panels are Table IV's CNN rows), every
+//! finished cell's round records are persisted under
+//! `results/cells/<key>.json` and transparently reused.
+
+use fedtrip_core::engine::RoundRecord;
+use fedtrip_core::experiment::ExperimentSpec;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A finished cell: the spec that produced it plus its per-round records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// The exact spec that was run.
+    pub spec: ExperimentSpec,
+    /// Per-round measurements.
+    pub records: Vec<RoundRecord>,
+    /// Wall-clock seconds the run took (0 when loaded from cache).
+    pub wall_seconds: f64,
+}
+
+impl CellResult {
+    /// Accuracy trajectory (evaluated rounds only).
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.records.iter().filter_map(|r| r.accuracy).collect()
+    }
+
+    /// First round reaching `target` accuracy.
+    pub fn rounds_to(&self, target: f64) -> Option<usize> {
+        fedtrip_core::engine::rounds_to_accuracy(&self.records, target)
+    }
+
+    /// Cumulative local-compute GFLOPs at the first round reaching `target`.
+    pub fn gflops_to(&self, target: f64) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy.map(|a| a >= target).unwrap_or(false))
+            .map(|r| r.cum_flops / 1e9)
+    }
+
+    /// Mean accuracy over the last `n` evaluated rounds.
+    pub fn final_accuracy(&self, n: usize) -> f64 {
+        fedtrip_core::engine::final_accuracy(&self.records, n)
+    }
+
+    /// Accuracy at a given round (last evaluated round `<= round`).
+    pub fn accuracy_at(&self, round: usize) -> Option<f64> {
+        self.records
+            .iter()
+            .take_while(|r| r.round <= round)
+            .filter_map(|r| r.accuracy)
+            .last()
+    }
+}
+
+/// Stable, filesystem-safe cache key for a spec.
+fn cell_key(spec: &ExperimentSpec) -> String {
+    // hash the canonical JSON encoding
+    let json = serde_json::to_string(spec).expect("spec serializes");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    format!(
+        "{}_{}_{}_r{}_s{}_{:016x}",
+        spec.algorithm.name().to_lowercase(),
+        spec.dataset.name().to_lowercase().replace('-', ""),
+        spec.model.name().to_lowercase(),
+        spec.rounds,
+        spec.seed,
+        h
+    )
+}
+
+fn cache_path(results: &Path, spec: &ExperimentSpec) -> PathBuf {
+    results.join("cells").join(format!("{}.json", cell_key(spec)))
+}
+
+/// Run a cell, or load it from the cache when an identical spec has already
+/// been run. Prints one progress line either way.
+pub fn run_or_load(results: &Path, spec: &ExperimentSpec) -> CellResult {
+    let path = cache_path(results, spec);
+    if let Ok(body) = fs::read_to_string(&path) {
+        if let Ok(cell) = serde_json::from_str::<CellResult>(&body) {
+            if cell.spec == *spec {
+                println!(
+                    "  [cached] {:<8} {:<8} {:<9} {}",
+                    spec.algorithm.name(),
+                    spec.dataset.name(),
+                    spec.model.name(),
+                    spec.heterogeneity.name(),
+                );
+                return cell;
+            }
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let records = spec.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let cell = CellResult {
+        spec: *spec,
+        records,
+        wall_seconds: wall,
+    };
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Ok(json) = serde_json::to_string(&cell) {
+        let _ = fs::write(&path, json);
+    }
+    let final_acc = cell.final_accuracy(5);
+    println!(
+        "  [ran {:>6.1}s] {:<8} {:<8} {:<9} {:<14} final {:.1}%",
+        wall,
+        spec.algorithm.name(),
+        spec.dataset.name(),
+        spec.model.name(),
+        spec.heterogeneity.name(),
+        final_acc * 100.0
+    );
+    cell
+}
+
+/// Run `trials` seeds of the same cell and return all results.
+pub fn run_trials(results: &Path, spec: &ExperimentSpec, trials: usize) -> Vec<CellResult> {
+    (0..trials)
+        .map(|t| {
+            let s = spec.with_seed(spec.seed.wrapping_add(1000 * t as u64));
+            run_or_load(results, &s)
+        })
+        .collect()
+}
+
+/// Mean rounds-to-target over trials; `None` when no trial reached it.
+pub fn mean_rounds_to(cells: &[CellResult], target: f64) -> Option<f64> {
+    let hits: Vec<f64> = cells
+        .iter()
+        .filter_map(|c| c.rounds_to(target).map(|r| r as f64))
+        .collect();
+    if hits.is_empty() {
+        None
+    } else {
+        Some(hits.iter().sum::<f64>() / hits.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedtrip_core::experiment::Scale;
+
+    fn smoke_spec() -> ExperimentSpec {
+        ExperimentSpec::quickstart().with_scale(Scale::Smoke)
+    }
+
+    #[test]
+    fn cache_round_trip() {
+        let dir = std::env::temp_dir().join("fedtrip_cells_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = smoke_spec();
+        let a = run_or_load(&dir, &spec);
+        assert!(a.wall_seconds > 0.0);
+        let b = run_or_load(&dir, &spec);
+        // loaded from cache: identical records
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.accuracies(), b.accuracies());
+    }
+
+    #[test]
+    fn different_seeds_get_different_keys() {
+        let a = cell_key(&smoke_spec());
+        let b = cell_key(&smoke_spec().with_seed(999));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn accuracy_at_round_is_monotone_in_round_index() {
+        let dir = std::env::temp_dir().join("fedtrip_cells_test2");
+        let cell = run_or_load(&dir, &smoke_spec());
+        let at2 = cell.accuracy_at(2);
+        assert!(at2.is_some());
+        assert!(cell.accuracy_at(0).is_none());
+    }
+
+    #[test]
+    fn trials_produce_distinct_seeds() {
+        let dir = std::env::temp_dir().join("fedtrip_cells_test3");
+        let cells = run_trials(&dir, &smoke_spec(), 2);
+        assert_eq!(cells.len(), 2);
+        assert_ne!(cells[0].spec.seed, cells[1].spec.seed);
+    }
+}

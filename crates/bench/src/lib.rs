@@ -1,0 +1,137 @@
+//! # fedtrip-bench
+//!
+//! Experiment drivers for the paper's evaluation. Each table and figure has
+//! a dedicated binary (`table4_comm_rounds`, `fig5_convergence`, ...); all
+//! of them share:
+//!
+//! * [`Cli`] — a tiny flag parser (`--scale smoke|default|paper`,
+//!   `--trials N`, `--seed S`, `--results DIR`),
+//! * [`cells`] — a cached cell runner: a *cell* is one
+//!   (dataset, model, heterogeneity, participation, method) simulation, and
+//!   its round records are cached as JSON under `results/` so that binaries
+//!   sharing cells (Table IV and Table V, Fig. 5, ...) never re-run them.
+//!
+//! Run everything at default scale with:
+//!
+//! ```bash
+//! for b in table2_datasets table3_models table4_comm_rounds table5_gflops \
+//!          table6_scalability table7_local_epochs table8_cost_model \
+//!          fig2_tsne fig4_partitions fig5_convergence fig6_boxplots \
+//!          fig7_mu_sensitivity; do
+//!   cargo run --release -p fedtrip-bench --bin $b
+//! done
+//! ```
+
+pub mod cases;
+pub mod cells;
+
+use fedtrip_core::experiment::Scale;
+use std::path::PathBuf;
+
+/// Common command-line options for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Execution scale.
+    pub scale: Scale,
+    /// Repeated trials per cell (paper: 10; default here: 1 for tractable
+    /// single-core runtimes — pass `--trials 10` to match the paper).
+    pub trials: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Directory for JSON artifacts.
+    pub results: PathBuf,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            scale: Scale::Default,
+            trials: 1,
+            seed: 2023,
+            results: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Cli {
+    /// Parse `std::env::args()`. Unknown flags abort with a usage message.
+    pub fn parse() -> Cli {
+        let mut cli = Cli::default();
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let need_val = |i: usize| -> &str {
+                args.get(i + 1).map(|s| s.as_str()).unwrap_or_else(|| {
+                    eprintln!("missing value for {}", args[i]);
+                    std::process::exit(2);
+                })
+            };
+            match args[i].as_str() {
+                "--scale" => {
+                    cli.scale = Scale::parse(need_val(i)).unwrap_or_else(|| {
+                        eprintln!("bad --scale (want smoke|default|paper)");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--trials" => {
+                    cli.trials = need_val(i).parse().unwrap_or_else(|_| {
+                        eprintln!("bad --trials");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--seed" => {
+                    cli.seed = need_val(i).parse().unwrap_or_else(|_| {
+                        eprintln!("bad --seed");
+                        std::process::exit(2);
+                    });
+                    i += 2;
+                }
+                "--results" => {
+                    cli.results = PathBuf::from(need_val(i));
+                    i += 2;
+                }
+                other => {
+                    eprintln!(
+                        "unknown flag {other}\nusage: --scale smoke|default|paper --trials N --seed S --results DIR"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        cli
+    }
+
+    /// Human-readable run banner.
+    pub fn banner(&self, what: &str) {
+        println!(
+            "{what}  [scale {:?}, {} trial(s), seed {}]\n",
+            self.scale, self.trials, self.seed
+        );
+    }
+}
+
+/// Format an accuracy fraction as the paper's percentage style.
+pub fn pct(a: f64) -> String {
+    format!("{:.2}", a * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli() {
+        let c = Cli::default();
+        assert_eq!(c.scale, Scale::Default);
+        assert_eq!(c.trials, 1);
+        assert_eq!(c.results, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.8765), "87.65");
+        assert_eq!(pct(1.0), "100.00");
+    }
+}

@@ -1,0 +1,88 @@
+//! FedAvg (McMahan et al., 2017) — the fundamental FL baseline.
+
+use super::{
+    model_train_flops, run_local_sgd, Algorithm, ClientData, ClientState, LocalContext,
+    LocalOutcome,
+};
+use crate::costs::{formulas, AttachCost, CostModel};
+use fedtrip_tensor::Sequential;
+
+/// Plain local SGD + weighted averaging. No attaching operations.
+#[derive(Debug, Clone, Default)]
+pub struct FedAvg;
+
+impl FedAvg {
+    /// Create a FedAvg instance.
+    pub fn new() -> Self {
+        FedAvg
+    }
+}
+
+impl Algorithm for FedAvg {
+    fn name(&self) -> &'static str {
+        "FedAvg"
+    }
+
+    fn local_train(
+        &self,
+        net: &mut Sequential,
+        data: &ClientData<'_>,
+        state: &mut ClientState,
+        ctx: &LocalContext<'_>,
+    ) -> LocalOutcome {
+        let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), None);
+        state.last_round = Some(ctx.round);
+        LocalOutcome {
+            params: net.params_flat(),
+            n_samples: data.refs.len(),
+            mean_loss,
+            iterations,
+            train_flops: model_train_flops(net, samples),
+            aux: None,
+        }
+    }
+
+    fn attach_cost(&self, m: &CostModel) -> AttachCost {
+        formulas::fedavg(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn local_training_reduces_loss() {
+        let h = Harness::new(42);
+        let (outcome, _) = h.train_one_client(&FedAvg::new(), 1, None);
+        assert!(outcome.iterations > 0);
+        assert!(outcome.mean_loss.is_finite());
+        // params must have moved away from the global model
+        assert_ne!(outcome.params, h.global);
+    }
+
+    #[test]
+    fn attach_cost_is_zero() {
+        let h = Harness::new(1);
+        let c = FedAvg::new().attach_cost(&h.cost_model());
+        assert_eq!(c.flops, 0.0);
+        assert_eq!(c.extra_comm_bytes, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let h = Harness::new(7);
+        let (a, _) = h.train_one_client(&FedAvg::new(), 1, None);
+        let (b, _) = h.train_one_client(&FedAvg::new(), 1, None);
+        assert_eq!(a.params, b.params);
+    }
+
+    #[test]
+    fn records_participation_round() {
+        let h = Harness::new(3);
+        let (_, state) = h.train_one_client(&FedAvg::new(), 5, None);
+        assert_eq!(state.last_round, Some(5));
+    }
+}

@@ -1,0 +1,134 @@
+//! FedProx (Li et al., 2020) — proximal model regularization.
+
+use super::{
+    model_train_flops, run_local_sgd, Algorithm, ClientData, ClientState, LocalContext,
+    LocalOutcome,
+};
+use crate::costs::{formulas, AttachCost, CostModel};
+use fedtrip_tensor::{vecops, Sequential};
+
+/// FedProx adds the proximal term `(mu/2) ||w - w_global||^2` to the local
+/// loss, i.e. each SGD step uses `g + mu (w - w_global)`. This restrains
+/// client drift but — as the paper argues in §IV-B / Fig. 3 — also blocks
+/// exploration beyond the global model's neighbourhood.
+#[derive(Debug, Clone)]
+pub struct FedProx {
+    mu: f32,
+}
+
+impl FedProx {
+    /// Create FedProx with proximal coefficient `mu` (paper default: 0.1).
+    ///
+    /// # Panics
+    /// Panics on negative `mu`.
+    pub fn new(mu: f32) -> Self {
+        assert!(mu >= 0.0, "FedProx mu must be non-negative");
+        FedProx { mu }
+    }
+
+    /// The proximal coefficient.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+}
+
+impl Algorithm for FedProx {
+    fn name(&self) -> &'static str {
+        "FedProx"
+    }
+
+    fn local_train(
+        &self,
+        net: &mut Sequential,
+        data: &ClientData<'_>,
+        state: &mut ClientState,
+        ctx: &LocalContext<'_>,
+    ) -> LocalOutcome {
+        let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
+        let mu = self.mu;
+        let global = ctx.global;
+        let mut hook = |g: &mut Vec<f32>, w: &[f32]| {
+            vecops::prox_adjust(g, mu, w, global);
+        };
+        let (iterations, samples, mean_loss) =
+            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        state.last_round = Some(ctx.round);
+        let attach = formulas::fedprox(&CostModel {
+            n_params: net.num_params(),
+            fp_per_sample: net.flops_forward(),
+            bp_per_sample: net.flops_backward(),
+            batch_size: ctx.batch_size,
+            local_iterations: iterations,
+            local_samples: data.refs.len(),
+        });
+        LocalOutcome {
+            params: net.params_flat(),
+            n_samples: data.refs.len(),
+            mean_loss,
+            iterations,
+            train_flops: model_train_flops(net, samples) + attach.flops,
+            aux: None,
+        }
+    }
+
+    fn attach_cost(&self, m: &CostModel) -> AttachCost {
+        formulas::fedprox(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::fedavg::FedAvg;
+    use super::super::testutil::*;
+    use super::*;
+    use fedtrip_tensor::vecops::sq_dist;
+
+    #[test]
+    fn stays_closer_to_global_than_fedavg() {
+        // The defining property of the proximal term: with a large mu the
+        // local model ends the round nearer to the global model.
+        let h = Harness::new(5);
+        let (avg, _) = h.train_one_client(&FedAvg::new(), 1, None);
+        let (prox, _) = h.train_one_client(&FedProx::new(5.0), 1, None);
+        let d_avg = sq_dist(&avg.params, &h.global);
+        let d_prox = sq_dist(&prox.params, &h.global);
+        assert!(
+            d_prox < d_avg,
+            "prox dist {d_prox} should be < fedavg dist {d_avg}"
+        );
+    }
+
+    #[test]
+    fn mu_zero_equals_fedavg() {
+        let h = Harness::new(6);
+        let (avg, _) = h.train_one_client(&FedAvg::new(), 1, None);
+        let (prox, _) = h.train_one_client(&FedProx::new(0.0), 1, None);
+        assert_eq!(avg.params, prox.params);
+    }
+
+    #[test]
+    fn attach_cost_is_2kw() {
+        let h = Harness::new(7);
+        let m = h.cost_model();
+        let c = FedProx::new(0.1).attach_cost(&m);
+        assert_eq!(
+            c.flops,
+            2.0 * m.local_iterations as f64 * m.n_params as f64
+        );
+        assert_eq!(c.extra_comm_bytes, 0);
+    }
+
+    #[test]
+    fn train_flops_include_attach_overhead() {
+        let h = Harness::new(8);
+        let (avg, _) = h.train_one_client(&FedAvg::new(), 1, None);
+        let (prox, _) = h.train_one_client(&FedProx::new(0.1), 1, None);
+        assert!(prox.train_flops > avg.train_flops);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_mu() {
+        let _ = FedProx::new(-0.1);
+    }
+}

@@ -1,0 +1,398 @@
+//! Federated optimization algorithms.
+//!
+//! The paper's contribution ([`FedTrip`]) plus every baseline of its
+//! evaluation: [`FedAvg`], [`FedProx`], [`Moon`], [`FedDyn`], [`SlowMo`],
+//! and the Appendix-A comparators [`Scaffold`] and [`MimeLite`].
+//!
+//! All methods implement the [`Algorithm`] trait: the engine hands each
+//! selected client a model loaded with the global parameters and the method
+//! runs local training however it likes (`local_train`, called from rayon
+//! workers, hence `&self`), then the server folds the outcomes into the next
+//! global model (`server_update`, `&mut self` — server-side state like
+//! SlowMo's momentum buffer lives in the algorithm struct).
+
+mod fedavg;
+mod feddyn;
+mod fedprox;
+mod fedtrip;
+mod mimelite;
+mod moon;
+mod scaffold;
+mod slowmo;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use fedavg::FedAvg;
+pub use feddyn::FedDyn;
+pub use fedprox::FedProx;
+pub use fedtrip::{FedTrip, FedTripConfig, XiMode};
+pub use mimelite::MimeLite;
+pub use moon::Moon;
+pub use scaffold::Scaffold;
+pub use slowmo::SlowMo;
+
+use crate::costs::{AttachCost, CostModel};
+use fedtrip_data::loader::BatchIter;
+use fedtrip_data::synth::{SampleRef, SyntheticVision};
+use fedtrip_tensor::optim::{Optimizer, SgdMomentum};
+use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::vecops;
+use fedtrip_tensor::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// A client's local shard: the dataset generator plus its sample references.
+pub struct ClientData<'a> {
+    /// The (shared, read-only) procedural dataset.
+    pub dataset: &'a SyntheticVision,
+    /// Samples owned by this client.
+    pub refs: &'a [SampleRef],
+}
+
+/// Per-round, per-client context assembled by the engine.
+#[derive(Debug, Clone)]
+pub struct LocalContext<'a> {
+    /// Communication round (1-based).
+    pub round: usize,
+    /// Client index within the federation.
+    pub client_id: usize,
+    /// Global model parameters at round start (`w^{t-1}`).
+    pub global: &'a [f32],
+    /// Rounds since this client last participated (the paper's `xi`);
+    /// `None` on first participation.
+    pub gap: Option<usize>,
+    /// Local epochs per round.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Client learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (methods that use SGDm).
+    pub momentum: f32,
+    /// Base seed for deriving data-shuffling streams.
+    pub seed: u64,
+}
+
+impl LocalContext<'_> {
+    /// Derive the shuffling RNG for a given epoch, deterministic in
+    /// `(seed, round, client, epoch)` regardless of thread scheduling.
+    pub fn epoch_rng(&self, epoch: usize) -> Prng {
+        Prng::derive(
+            self.seed,
+            &[0xE0, self.round as u64, self.client_id as u64, epoch as u64],
+        )
+    }
+}
+
+/// Persistent per-client state across rounds.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClientState {
+    /// Round of last participation.
+    pub last_round: Option<usize>,
+    /// Historical local model `w̃_k` (FedTrip's negative anchor, MOON's
+    /// previous representation model).
+    pub historical: Option<Vec<f32>>,
+    /// Per-client correction state (FedDyn `h_k`, SCAFFOLD `c_k`).
+    pub correction: Option<Vec<f32>>,
+}
+
+/// What a client sends back to the server after local training.
+#[derive(Debug, Clone)]
+pub struct LocalOutcome {
+    /// Updated local parameters `w_k^t`.
+    pub params: Vec<f32>,
+    /// Number of local samples (the aggregation weight `|D_k|`).
+    pub n_samples: usize,
+    /// Mean training loss over the round's iterations.
+    pub mean_loss: f64,
+    /// Local SGD iterations executed.
+    pub iterations: usize,
+    /// Total local computation this round (model FLOPs + attach FLOPs).
+    pub train_flops: f64,
+    /// Optional auxiliary upload (SCAFFOLD's control-variate delta,
+    /// MimeLite's full-batch gradient).
+    pub aux: Option<Vec<f32>>,
+}
+
+/// A federated optimization method.
+pub trait Algorithm: Send + Sync {
+    /// Method name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Called once before the first round with the federation size and the
+    /// model's parameter count, so server-side state (SCAFFOLD's control
+    /// variate, FedDyn's `h`, SlowMo's momentum) can be sized.
+    fn on_init(&mut self, _n_clients: usize, _n_params: usize) {}
+
+    /// Export server-side state vectors for checkpointing (SlowMo's
+    /// momentum buffer, FedDyn's `h`, SCAFFOLD's `c`, MimeLite's `s`).
+    /// Stateless methods return an empty list.
+    fn server_state(&self) -> Vec<Vec<f32>> {
+        Vec::new()
+    }
+
+    /// Restore state previously exported by [`Algorithm::server_state`].
+    /// Called after `on_init` when resuming from a checkpoint.
+    fn restore_server_state(&mut self, _state: Vec<Vec<f32>>) {}
+
+    /// Build the local optimizer. Default: SGD with momentum, the paper's
+    /// standard choice; SlowMo/FedDyn/SCAFFOLD/MimeLite override to plain
+    /// SGD per §V-A.
+    fn make_optimizer(&self, lr: f32, momentum: f32) -> Box<dyn Optimizer> {
+        Box::new(SgdMomentum::new(lr, momentum))
+    }
+
+    /// Run one round of local training. `net` arrives loaded with the
+    /// global parameters. Called concurrently for different clients.
+    fn local_train(
+        &self,
+        net: &mut Sequential,
+        data: &ClientData<'_>,
+        state: &mut ClientState,
+        ctx: &LocalContext<'_>,
+    ) -> LocalOutcome;
+
+    /// Fold client outcomes into the next global model. The default is the
+    /// sample-count-weighted average of Eq. 2.
+    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
+        *global = weighted_param_average(outcomes);
+    }
+
+    /// The Appendix-A attaching-operation cost of this method.
+    fn attach_cost(&self, m: &CostModel) -> AttachCost;
+}
+
+/// Sample-count-weighted parameter average (Eq. 2 with `a_k = |D_k| / |D_S|`).
+pub fn weighted_param_average(outcomes: &[LocalOutcome]) -> Vec<f32> {
+    assert!(!outcomes.is_empty(), "no outcomes to aggregate");
+    let total: f64 = outcomes.iter().map(|o| o.n_samples as f64).sum();
+    let inputs: Vec<&[f32]> = outcomes.iter().map(|o| o.params.as_slice()).collect();
+    let weights: Vec<f64> = outcomes
+        .iter()
+        .map(|o| o.n_samples as f64 / total)
+        .collect();
+    vecops::weighted_average(&inputs, &weights)
+}
+
+/// The shared local-SGD loop: `epochs` passes over the client's shuffled
+/// data, one optimizer step per mini-batch, with an optional flat-space
+/// gradient hook `(grads, current_params)` applied between backward and
+/// step (this is where FedProx / FedTrip / FedDyn / SCAFFOLD attach).
+///
+/// Returns `(iterations, samples_processed, mean_loss)`.
+pub fn run_local_sgd(
+    net: &mut Sequential,
+    data: &ClientData<'_>,
+    ctx: &LocalContext<'_>,
+    opt: &mut dyn Optimizer,
+    mut grad_hook: Option<&mut dyn FnMut(&mut Vec<f32>, &[f32])>,
+) -> (usize, usize, f64) {
+    let mut iterations = 0usize;
+    let mut samples = 0usize;
+    let mut loss_sum = 0.0f64;
+    for epoch in 0..ctx.epochs {
+        let mut rng = ctx.epoch_rng(epoch);
+        for (x, y) in BatchIter::new(data.dataset, data.refs, ctx.batch_size, &mut rng) {
+            net.zero_grads();
+            let loss = net.train_step(&x, &y);
+            if let Some(hook) = grad_hook.as_mut() {
+                let w = net.params_flat();
+                let mut g = net.grads_flat();
+                hook(&mut g, &w);
+                net.set_grads_flat(&g);
+            }
+            opt.step(net);
+            iterations += 1;
+            samples += y.len();
+            loss_sum += loss;
+        }
+    }
+    let mean_loss = if iterations > 0 {
+        loss_sum / iterations as f64
+    } else {
+        0.0
+    };
+    (iterations, samples, mean_loss)
+}
+
+/// Baseline model FLOPs for a local round that processed `samples` samples.
+pub fn model_train_flops(net: &Sequential, samples: usize) -> f64 {
+    samples as f64 * (net.flops_forward() + net.flops_backward()) as f64
+}
+
+/// The methods of the paper's evaluation, as a closed enum for experiment
+/// configs and CLI parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmKind {
+    /// FedAvg (McMahan et al., 2017) — the FL baseline.
+    FedAvg,
+    /// FedProx (Li et al., 2020) — proximal regularization.
+    FedProx,
+    /// FedTrip (this paper) — triplet regularization.
+    FedTrip,
+    /// MOON (Li et al., 2021) — model-contrastive representation learning.
+    Moon,
+    /// FedDyn (Acar et al., 2021) — dynamic regularization.
+    FedDyn,
+    /// SlowMo (Wang et al., 2019) — server-side slow momentum.
+    SlowMo,
+    /// SCAFFOLD (Karimireddy et al., 2020) — control variates (Appendix A).
+    Scaffold,
+    /// MimeLite (Karimireddy et al., 2020) — server statistics (Appendix A).
+    MimeLite,
+}
+
+impl AlgorithmKind {
+    /// The six methods of the paper's main evaluation (Tables IV-VII).
+    pub const EVALUATED: [AlgorithmKind; 6] = [
+        AlgorithmKind::FedTrip,
+        AlgorithmKind::FedAvg,
+        AlgorithmKind::FedProx,
+        AlgorithmKind::SlowMo,
+        AlgorithmKind::Moon,
+        AlgorithmKind::FedDyn,
+    ];
+
+    /// All eight implemented methods (adds the Appendix-A comparators).
+    pub const ALL: [AlgorithmKind; 8] = [
+        AlgorithmKind::FedTrip,
+        AlgorithmKind::FedAvg,
+        AlgorithmKind::FedProx,
+        AlgorithmKind::SlowMo,
+        AlgorithmKind::Moon,
+        AlgorithmKind::FedDyn,
+        AlgorithmKind::Scaffold,
+        AlgorithmKind::MimeLite,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::FedAvg => "FedAvg",
+            AlgorithmKind::FedProx => "FedProx",
+            AlgorithmKind::FedTrip => "FedTrip",
+            AlgorithmKind::Moon => "MOON",
+            AlgorithmKind::FedDyn => "FedDyn",
+            AlgorithmKind::SlowMo => "SlowMo",
+            AlgorithmKind::Scaffold => "SCAFFOLD",
+            AlgorithmKind::MimeLite => "MimeLite",
+        }
+    }
+
+    /// Parse a (case-insensitive) method name.
+    pub fn parse(s: &str) -> Option<AlgorithmKind> {
+        let l = s.to_ascii_lowercase();
+        Some(match l.as_str() {
+            "fedavg" => AlgorithmKind::FedAvg,
+            "fedprox" => AlgorithmKind::FedProx,
+            "fedtrip" => AlgorithmKind::FedTrip,
+            "moon" => AlgorithmKind::Moon,
+            "feddyn" => AlgorithmKind::FedDyn,
+            "slowmo" => AlgorithmKind::SlowMo,
+            "scaffold" => AlgorithmKind::Scaffold,
+            "mimelite" => AlgorithmKind::MimeLite,
+            _ => return None,
+        })
+    }
+
+    /// Instantiate the method with the given hyper-parameters.
+    pub fn build(&self, hp: &HyperParams) -> Box<dyn Algorithm> {
+        match self {
+            AlgorithmKind::FedAvg => Box::new(FedAvg::new()),
+            AlgorithmKind::FedProx => Box::new(FedProx::new(hp.fedprox_mu)),
+            AlgorithmKind::FedTrip => Box::new(FedTrip::new(FedTripConfig {
+                mu: hp.fedtrip_mu,
+                xi_mode: hp.xi_mode,
+            })),
+            AlgorithmKind::Moon => Box::new(Moon::new(hp.moon_mu, hp.moon_tau)),
+            AlgorithmKind::FedDyn => Box::new(FedDyn::new(hp.feddyn_alpha)),
+            AlgorithmKind::SlowMo => Box::new(SlowMo::new(hp.slowmo_beta, hp.slowmo_lr)),
+            AlgorithmKind::Scaffold => Box::new(Scaffold::new()),
+            AlgorithmKind::MimeLite => Box::new(MimeLite::new(hp.mime_beta)),
+        }
+    }
+}
+
+/// Hyper-parameters for all methods, with the defaults of §V-A.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HyperParams {
+    /// FedTrip `mu` (paper: 1.0 for MLP experiments, 0.4 otherwise).
+    pub fedtrip_mu: f32,
+    /// FedTrip `xi` mode (paper: the participation gap).
+    pub xi_mode: XiMode,
+    /// FedProx `mu` (paper: 0.1).
+    pub fedprox_mu: f32,
+    /// MOON `mu` (paper: 1.0).
+    pub moon_mu: f32,
+    /// MOON temperature `tau` (paper: 0.5).
+    pub moon_tau: f32,
+    /// FedDyn `alpha` (paper: 1.0 on MNIST, 0.1 elsewhere).
+    pub feddyn_alpha: f32,
+    /// SlowMo momentum `beta`.
+    pub slowmo_beta: f32,
+    /// SlowMo server learning rate.
+    pub slowmo_lr: f32,
+    /// MimeLite server-statistics momentum.
+    pub mime_beta: f32,
+}
+
+impl Default for HyperParams {
+    fn default() -> Self {
+        HyperParams {
+            fedtrip_mu: 0.4,
+            xi_mode: XiMode::Gap,
+            fedprox_mu: 0.1,
+            moon_mu: 1.0,
+            moon_tau: 0.5,
+            feddyn_alpha: 0.1,
+            slowmo_beta: 0.5,
+            slowmo_lr: 1.0,
+            mime_beta: 0.9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for k in AlgorithmKind::ALL {
+            assert_eq!(AlgorithmKind::parse(k.name()), Some(k));
+            assert_eq!(AlgorithmKind::parse(&k.name().to_uppercase()), Some(k));
+        }
+        assert_eq!(AlgorithmKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn weighted_average_respects_sample_counts() {
+        let o = |params: Vec<f32>, n: usize| LocalOutcome {
+            params,
+            n_samples: n,
+            mean_loss: 0.0,
+            iterations: 1,
+            train_flops: 0.0,
+            aux: None,
+        };
+        let avg = weighted_param_average(&[o(vec![0.0, 0.0], 100), o(vec![4.0, 8.0], 300)]);
+        assert_eq!(avg, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn every_kind_builds() {
+        let hp = HyperParams::default();
+        for k in AlgorithmKind::ALL {
+            let alg = k.build(&hp);
+            assert_eq!(alg.name(), k.name());
+        }
+    }
+
+    #[test]
+    fn defaults_match_paper_section_5a() {
+        let hp = HyperParams::default();
+        assert_eq!(hp.fedprox_mu, 0.1);
+        assert_eq!(hp.moon_mu, 1.0);
+        assert_eq!(hp.moon_tau, 0.5);
+        assert_eq!(hp.fedtrip_mu, 0.4);
+    }
+}

@@ -1,0 +1,170 @@
+//! SlowMo (Wang et al., 2019) — server-side slow momentum.
+//!
+//! Clients run plain local SGD (the paper pairs SlowMo with a momentum-free
+//! local optimizer, §V-A); the server treats the aggregated model delta as a
+//! pseudo-gradient and applies a slow momentum step:
+//!
+//! ```text
+//! u_t = beta * u_{t-1} + (w_{t-1} - w_avg)
+//! w_t = w_{t-1} - alpha * u_t
+//! ```
+
+use super::{
+    model_train_flops, run_local_sgd, weighted_param_average, Algorithm, ClientData, ClientState,
+    LocalContext, LocalOutcome,
+};
+use crate::costs::{formulas, AttachCost, CostModel};
+use fedtrip_tensor::optim::{Optimizer, Sgd};
+use fedtrip_tensor::Sequential;
+
+/// The SlowMo method.
+#[derive(Debug, Clone)]
+pub struct SlowMo {
+    beta: f32,
+    server_lr: f32,
+    momentum_buf: Vec<f32>,
+}
+
+impl SlowMo {
+    /// Create SlowMo with slow-momentum `beta` and server learning rate
+    /// `alpha` (common defaults: 0.5 and 1.0).
+    ///
+    /// # Panics
+    /// Panics when `beta` is outside `[0, 1)` or `alpha` non-positive.
+    pub fn new(beta: f32, server_lr: f32) -> Self {
+        assert!((0.0..1.0).contains(&beta), "SlowMo beta must be in [0,1)");
+        assert!(server_lr > 0.0, "SlowMo server lr must be positive");
+        SlowMo {
+            beta,
+            server_lr,
+            momentum_buf: Vec::new(),
+        }
+    }
+}
+
+impl Algorithm for SlowMo {
+    fn name(&self) -> &'static str {
+        "SlowMo"
+    }
+
+    fn on_init(&mut self, _n_clients: usize, n_params: usize) {
+        self.momentum_buf = vec![0.0; n_params];
+    }
+
+    fn make_optimizer(&self, lr: f32, _momentum: f32) -> Box<dyn Optimizer> {
+        // §V-A: SlowMo trains locally with plain SGD
+        Box::new(Sgd::new(lr))
+    }
+
+    fn local_train(
+        &self,
+        net: &mut Sequential,
+        data: &ClientData<'_>,
+        state: &mut ClientState,
+        ctx: &LocalContext<'_>,
+    ) -> LocalOutcome {
+        let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), None);
+        state.last_round = Some(ctx.round);
+        LocalOutcome {
+            params: net.params_flat(),
+            n_samples: data.refs.len(),
+            mean_loss,
+            iterations,
+            train_flops: model_train_flops(net, samples),
+            aux: None,
+        }
+    }
+
+    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
+        let avg = weighted_param_average(outcomes);
+        if self.momentum_buf.len() != global.len() {
+            self.momentum_buf = vec![0.0; global.len()];
+        }
+        for ((u, g), a) in self.momentum_buf.iter_mut().zip(global.iter_mut()).zip(&avg) {
+            *u = self.beta * *u + (*g - a);
+            *g -= self.server_lr * *u;
+        }
+    }
+
+    fn server_state(&self) -> Vec<Vec<f32>> {
+        vec![self.momentum_buf.clone()]
+    }
+
+    fn restore_server_state(&mut self, mut state: Vec<Vec<f32>>) {
+        if let Some(buf) = state.pop() {
+            self.momentum_buf = buf;
+        }
+    }
+
+    fn attach_cost(&self, m: &CostModel) -> AttachCost {
+        formulas::slowmo(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::*;
+    use super::*;
+
+    fn outcome(params: Vec<f32>) -> LocalOutcome {
+        LocalOutcome {
+            params,
+            n_samples: 10,
+            mean_loss: 0.0,
+            iterations: 1,
+            train_flops: 0.0,
+            aux: None,
+        }
+    }
+
+    #[test]
+    fn first_server_step_with_unit_lr_reaches_average() {
+        // u = 0.5*0 + (g - avg); w = g - 1.0*u = avg
+        let mut s = SlowMo::new(0.5, 1.0);
+        s.on_init(10, 2);
+        let mut global = vec![1.0f32, 1.0];
+        s.server_update(&mut global, &[outcome(vec![0.0, 0.0])], 1);
+        assert_eq!(global, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn momentum_carries_across_rounds() {
+        let mut s = SlowMo::new(0.5, 1.0);
+        s.on_init(10, 1);
+        let mut global = vec![1.0f32];
+        // round 1: avg 0 => u = 1, w = 0
+        s.server_update(&mut global, &[outcome(vec![0.0])], 1);
+        assert_eq!(global, vec![0.0]);
+        // round 2: avg = w (no local movement) => delta 0, u = 0.5 => w = -0.5
+        s.server_update(&mut global, &[outcome(vec![0.0])], 2);
+        assert_eq!(global, vec![-0.5]);
+    }
+
+    #[test]
+    fn beta_zero_unit_lr_is_plain_averaging() {
+        let mut s = SlowMo::new(0.0, 1.0);
+        s.on_init(4, 2);
+        let mut global = vec![5.0f32, -5.0];
+        s.server_update(&mut global, &[outcome(vec![1.0, 2.0])], 1);
+        assert_eq!(global, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn local_training_uses_plain_sgd() {
+        // SlowMo's local run from identical state must differ from a
+        // momentum-SGD run (FedAvg) on the same data when momentum matters.
+        let h = Harness::new(31);
+        let (slow, _) = h.train_one_client(&SlowMo::new(0.5, 1.0), 1, None);
+        let (avg, _) = h.train_one_client(&super::super::fedavg::FedAvg::new(), 1, None);
+        assert_ne!(slow.params, avg.params);
+    }
+
+    #[test]
+    fn no_attach_cost() {
+        let h = Harness::new(32);
+        let c = SlowMo::new(0.5, 1.0).attach_cost(&h.cost_model());
+        assert_eq!(c.flops, 0.0);
+        assert_eq!(c.extra_comm_bytes, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared fixture for algorithm unit tests: a tiny MLP on a handful of
+//! synthetic samples, so each method's update rule can be exercised in
+//! milliseconds.
+
+use super::{Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
+use crate::costs::CostModel;
+use fedtrip_data::synth::{DatasetKind, SampleRef, SyntheticVision};
+use fedtrip_models::ModelKind;
+use fedtrip_tensor::Sequential;
+
+pub struct Harness {
+    pub dataset: SyntheticVision,
+    pub refs: Vec<SampleRef>,
+    pub template: Sequential,
+    pub global: Vec<f32>,
+    pub seed: u64,
+}
+
+impl Harness {
+    pub fn new(seed: u64) -> Self {
+        let dataset = SyntheticVision::new(DatasetKind::MnistLike, seed);
+        // 40 samples, 4 per class
+        let refs: Vec<SampleRef> = (0..40u32)
+            .map(|i| SampleRef {
+                class: (i % 10) as u16,
+                id: i / 10,
+            })
+            .collect();
+        let template = ModelKind::TinyMlp.build(&[1, 28, 28], 10, seed);
+        let global = template.params_flat();
+        Harness {
+            dataset,
+            refs,
+            template,
+            global,
+            seed,
+        }
+    }
+
+    pub fn ctx<'a>(&'a self, round: usize, gap: Option<usize>) -> LocalContext<'a> {
+        LocalContext {
+            round,
+            client_id: 0,
+            global: &self.global,
+            gap,
+            epochs: 1,
+            batch_size: 20,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: self.seed,
+        }
+    }
+
+    /// Run one client's local training from the current global model.
+    pub fn train_one_client(
+        &self,
+        alg: &dyn Algorithm,
+        round: usize,
+        state_in: Option<ClientState>,
+    ) -> (LocalOutcome, ClientState) {
+        let mut net = self.template.clone();
+        net.set_params_flat(&self.global);
+        let mut state = state_in.unwrap_or_default();
+        let gap = state.last_round.map(|lr| round.saturating_sub(lr));
+        let data = ClientData {
+            dataset: &self.dataset,
+            refs: &self.refs,
+        };
+        let ctx = self.ctx(round, gap);
+        let outcome = alg.local_train(&mut net, &data, &mut state, &ctx);
+        (outcome, state)
+    }
+
+    pub fn cost_model(&self) -> CostModel {
+        CostModel {
+            n_params: self.template.num_params(),
+            fp_per_sample: self.template.flops_forward(),
+            bp_per_sample: self.template.flops_backward(),
+            batch_size: 20,
+            local_iterations: 2,
+            local_samples: self.refs.len(),
+        }
+    }
+}

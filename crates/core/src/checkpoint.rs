@@ -1,0 +1,169 @@
+//! Simulation checkpointing: pause a federated run, serialize everything
+//! that defines its future (global model, per-client states, server-side
+//! algorithm state, round records), and resume bit-identically later.
+//!
+//! Because every random stream in the engine is derived from
+//! `(seed, domain tags, round, client)` rather than from mutable generator
+//! state, a resumed run needs no RNG snapshot: replaying round `t+1` after a
+//! restore produces exactly the bytes the uninterrupted run would have.
+
+use crate::algorithms::{AlgorithmKind, ClientState, HyperParams};
+use crate::engine::{RoundRecord, Simulation, SimulationConfig};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A serialized simulation snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Engine configuration.
+    pub config: SimulationConfig,
+    /// Which method was running.
+    pub algorithm: AlgorithmKind,
+    /// Its hyper-parameters.
+    pub hyper: HyperParams,
+    /// Rounds completed.
+    pub round: usize,
+    /// Global model parameters.
+    pub global: Vec<f32>,
+    /// Per-client persistent state.
+    pub states: Vec<ClientState>,
+    /// Server-side algorithm state (momentum buffers etc.).
+    pub server_state: Vec<Vec<f32>>,
+    /// Round records so far.
+    pub records: Vec<RoundRecord>,
+}
+
+impl Checkpoint {
+    /// Capture a snapshot of a running simulation.
+    ///
+    /// `algorithm`/`hyper` must be the values the simulation was built with
+    /// (the engine holds only the type-erased method).
+    pub fn capture(sim: &Simulation, algorithm: AlgorithmKind, hyper: HyperParams) -> Checkpoint {
+        Checkpoint {
+            config: *sim.config(),
+            algorithm,
+            hyper,
+            round: sim.rounds_done(),
+            global: sim.global_params().to_vec(),
+            states: sim.client_states().to_vec(),
+            server_state: sim.algorithm_server_state(),
+            records: sim.records().to_vec(),
+        }
+    }
+
+    /// Rebuild a simulation that continues exactly where the snapshot
+    /// stopped.
+    pub fn restore(&self) -> Simulation {
+        let alg = self.algorithm.build(&self.hyper);
+        let mut sim = Simulation::new(self.config, alg);
+        // order matters: Simulation::new ran on_init, which sized-and-zeroed
+        // the server state; overwrite it now
+        sim.restore_algorithm_state(self.server_state.clone());
+        sim.restore_snapshot(
+            self.round,
+            self.global.clone(),
+            self.states.clone(),
+            self.records.clone(),
+        );
+        sim
+    }
+
+    /// Write the snapshot as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(path, json)
+    }
+
+    /// Read a snapshot back.
+    pub fn load(path: &Path) -> io::Result<Checkpoint> {
+        let body = fs::read_to_string(path)?;
+        serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedtrip_data::partition::HeterogeneityKind;
+    use fedtrip_data::synth::DatasetKind;
+    use fedtrip_models::ModelKind;
+
+    fn cfg(seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            dataset: DatasetKind::MnistLike,
+            model: ModelKind::TinyMlp,
+            heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+            n_clients: 6,
+            clients_per_round: 3,
+            rounds: 8,
+            batch_size: 25,
+            lr: 0.05,
+            seed,
+            test_per_class: 5,
+            client_samples_override: Some(50),
+            ..SimulationConfig::default()
+        }
+    }
+
+    fn resume_equals_straight(kind: AlgorithmKind) {
+        let hyper = HyperParams::default();
+        // straight run: 8 rounds
+        let mut straight = Simulation::new(cfg(31), kind.build(&hyper));
+        straight.run();
+
+        // split run: 4 rounds, checkpoint, restore, 4 more
+        let mut first = Simulation::new(cfg(31), kind.build(&hyper));
+        for _ in 0..4 {
+            first.run_round();
+        }
+        let ckpt = Checkpoint::capture(&first, kind, hyper);
+        let mut resumed = ckpt.restore();
+        resumed.run();
+
+        assert_eq!(
+            straight.global_params(),
+            resumed.global_params(),
+            "{}: resumed run diverged from straight run",
+            kind.name()
+        );
+        assert_eq!(straight.records().len(), resumed.records().len());
+    }
+
+    #[test]
+    fn resume_is_bit_identical_stateless_method() {
+        resume_equals_straight(AlgorithmKind::FedTrip);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_server_stateful_methods() {
+        // these keep server-side vectors that must survive the round trip
+        resume_equals_straight(AlgorithmKind::SlowMo);
+        resume_equals_straight(AlgorithmKind::FedDyn);
+        resume_equals_straight(AlgorithmKind::Scaffold);
+        resume_equals_straight(AlgorithmKind::MimeLite);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let hyper = HyperParams::default();
+        let mut sim = Simulation::new(cfg(32), AlgorithmKind::FedTrip.build(&hyper));
+        for _ in 0..2 {
+            sim.run_round();
+        }
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedTrip, hyper);
+        let path = std::env::temp_dir().join("fedtrip_ckpt_test.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.round, 2);
+        assert_eq!(loaded.global, ckpt.global);
+        let mut resumed = loaded.restore();
+        resumed.run_round();
+        assert_eq!(resumed.rounds_done(), 3);
+    }
+}

@@ -1,0 +1,772 @@
+//! The synchronous federated round loop (paper §III-A).
+//!
+//! Each round: the server samples `K` of `N` clients (seeded, so runs are
+//! bit-reproducible), broadcasts the global parameters, the selected clients
+//! train locally **in parallel** (rayon — clients are independent, and
+//! outcomes are folded in client-index order so thread scheduling can never
+//! change results), and the server aggregates with the method's
+//! `server_update`. The engine also does the bookkeeping the paper's
+//! evaluation is built on: participation gaps (FedTrip's `xi`), cumulative
+//! communication bytes, cumulative local-compute FLOPs, and per-round test
+//! accuracy of the global model.
+
+use crate::algorithms::{Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
+use crate::costs::CostModel;
+use fedtrip_data::partition::{HeterogeneityKind, Partition};
+use fedtrip_data::synth::{DatasetKind, SyntheticVision};
+use fedtrip_models::ModelKind;
+use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::{Sequential, Tensor};
+use fedtrip_tensor::optim::LrSchedule;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How the server picks the `K` participants of each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// The paper's rule: uniform sampling without replacement.
+    Uniform,
+    /// Deterministic rotation through the client list — every client
+    /// participates exactly once every `N / K` rounds (gap is constant,
+    /// which also pins FedTrip's `xi`; useful for ablations).
+    RoundRobin,
+    /// Sample proportional to local data size (without replacement) —
+    /// the "capability-aware" selection common in production FL.
+    WeightedBySamples,
+}
+
+/// Full configuration of one federated simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Dataset preset.
+    pub dataset: DatasetKind,
+    /// Model architecture.
+    pub model: ModelKind,
+    /// Label-skew regime.
+    pub heterogeneity: HeterogeneityKind,
+    /// Federation size `N` (paper: 10, or 50 for the scalability study).
+    pub n_clients: usize,
+    /// Clients selected per round `K` (paper: 4).
+    pub clients_per_round: usize,
+    /// Communication rounds `T` (paper: 100).
+    pub rounds: usize,
+    /// Local epochs per round (paper default 1; Table VII uses 5 and 10).
+    pub local_epochs: usize,
+    /// Mini-batch size (paper: 50).
+    pub batch_size: usize,
+    /// Client learning rate (paper: 0.01).
+    pub lr: f32,
+    /// Momentum for methods that train with SGDm (paper: 0.9).
+    pub momentum: f32,
+    /// Master seed; everything (init, partition, selection, shuffling,
+    /// data synthesis) derives from it.
+    pub seed: u64,
+    /// Held-out test samples per class for evaluation.
+    pub test_per_class: usize,
+    /// Override the per-client sample count (scale-down knob for CI /
+    /// laptop runs; `None` = the paper's Table II value).
+    pub client_samples_override: Option<usize>,
+    /// Evaluate the global model every this many rounds.
+    pub eval_every: usize,
+    /// Client selection strategy (paper: uniform).
+    pub selection: SelectionStrategy,
+    /// Straggler injection: probability that a selected client fails to
+    /// report back this round (the server aggregates the survivors; at
+    /// least one client always survives). Paper: 0.
+    pub failure_prob: f32,
+    /// Learning-rate schedule across rounds (paper: constant).
+    pub lr_schedule: LrSchedule,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            dataset: DatasetKind::MnistLike,
+            model: ModelKind::Cnn,
+            heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+            n_clients: 10,
+            clients_per_round: 4,
+            rounds: 100,
+            local_epochs: 1,
+            batch_size: 50,
+            lr: 0.01,
+            momentum: 0.9,
+            seed: 2023,
+            test_per_class: 50,
+            client_samples_override: None,
+            eval_every: 1,
+            selection: SelectionStrategy::Uniform,
+            failure_prob: 0.0,
+            lr_schedule: LrSchedule::Constant,
+        }
+    }
+}
+
+/// Measurements of one communication round.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number (1-based).
+    pub round: usize,
+    /// Test accuracy of the aggregated global model (`None` when this round
+    /// was not an evaluation round).
+    pub accuracy: Option<f64>,
+    /// Mean local training loss over the selected clients.
+    pub mean_loss: f64,
+    /// Cumulative client-server communication in bytes (up + down, all
+    /// clients, including method-specific extras).
+    pub cum_comm_bytes: f64,
+    /// Cumulative local computation in FLOPs (model fwd/bwd + attach ops).
+    pub cum_flops: f64,
+    /// The clients that participated.
+    pub selected: Vec<usize>,
+}
+
+/// A running federated simulation.
+pub struct Simulation {
+    cfg: SimulationConfig,
+    algorithm: Box<dyn Algorithm>,
+    dataset: SyntheticVision,
+    partition: Partition,
+    template: Sequential,
+    global: Vec<f32>,
+    states: Vec<ClientState>,
+    test_x: Tensor,
+    test_y: Vec<usize>,
+    round: usize,
+    records: Vec<RoundRecord>,
+    cum_comm_bytes: f64,
+    cum_flops: f64,
+}
+
+impl Simulation {
+    /// Build a simulation: synthesizes the dataset, partitions it, and
+    /// initializes the global model.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configuration (zero clients, `K > N`, more
+    /// requested samples than the dataset holds, model/dataset shape
+    /// mismatch).
+    pub fn new(cfg: SimulationConfig, mut algorithm: Box<dyn Algorithm>) -> Self {
+        assert!(cfg.n_clients > 0, "need at least one client");
+        assert!(
+            cfg.clients_per_round > 0 && cfg.clients_per_round <= cfg.n_clients,
+            "clients_per_round must be in 1..=n_clients"
+        );
+        assert!(cfg.rounds > 0, "need at least one round");
+        assert!(cfg.eval_every > 0, "eval_every must be positive");
+
+        let dataset = SyntheticVision::new(cfg.dataset, cfg.seed);
+        let mut spec = *dataset.spec();
+        if let Some(n) = cfg.client_samples_override {
+            assert!(n > 0, "client_samples_override must be positive");
+            spec.client_samples = n;
+        }
+        let partition = Partition::build(
+            &spec,
+            cfg.heterogeneity,
+            cfg.n_clients,
+            cfg.seed ^ 0x9A27_17,
+        );
+        let template = cfg.model.build(&spec.sample_shape(), spec.classes, cfg.seed);
+        let global = template.params_flat();
+        algorithm.on_init(cfg.n_clients, global.len());
+        let (test_x, test_y) = dataset.test_set(cfg.test_per_class);
+        Simulation {
+            cfg,
+            algorithm,
+            dataset,
+            partition,
+            template,
+            global,
+            states: vec![ClientState::default(); cfg.n_clients],
+            test_x,
+            test_y,
+            round: 0,
+            records: Vec::new(),
+            cum_comm_bytes: 0.0,
+            cum_flops: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.cfg
+    }
+
+    /// The partition (e.g. for label-histogram reporting).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Current global parameters.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Per-client state (participation history etc.).
+    pub fn client_states(&self) -> &[ClientState] {
+        &self.states
+    }
+
+    /// Round records so far.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// Rounds completed.
+    pub fn rounds_done(&self) -> usize {
+        self.round
+    }
+
+    /// A copy of the global model as a ready-to-use network.
+    pub fn global_model(&self) -> Sequential {
+        let mut net = self.template.clone();
+        net.set_params_flat(&self.global);
+        net
+    }
+
+    /// Server-side algorithm state (for checkpointing).
+    pub fn algorithm_server_state(&self) -> Vec<Vec<f32>> {
+        self.algorithm.server_state()
+    }
+
+    /// Restore server-side algorithm state (must run *after* construction —
+    /// `Simulation::new` calls `on_init`, which reinitializes it).
+    pub fn restore_algorithm_state(&mut self, state: Vec<Vec<f32>>) {
+        self.algorithm.restore_server_state(state);
+    }
+
+    /// Restore engine position from a checkpoint (see
+    /// [`crate::checkpoint::Checkpoint`]). Overwrites round counter, global
+    /// parameters, client states and records; cumulative accounting is
+    /// recovered from the last record.
+    ///
+    /// # Panics
+    /// Panics when the snapshot's shapes don't match this simulation.
+    pub fn restore_snapshot(
+        &mut self,
+        round: usize,
+        global: Vec<f32>,
+        states: Vec<ClientState>,
+        records: Vec<RoundRecord>,
+    ) {
+        assert_eq!(global.len(), self.global.len(), "global size mismatch");
+        assert_eq!(states.len(), self.states.len(), "client count mismatch");
+        assert_eq!(records.len(), round, "records/round mismatch");
+        self.round = round;
+        self.global = global;
+        self.states = states;
+        if let Some(last) = records.last() {
+            self.cum_comm_bytes = last.cum_comm_bytes;
+            self.cum_flops = last.cum_flops;
+        }
+        self.records = records;
+    }
+
+    /// The Appendix-A cost model for this configuration (uses the nominal
+    /// iteration count `ceil(samples / batch) * epochs`).
+    pub fn cost_model(&self) -> CostModel {
+        let samples = self.partition.clients[0].len();
+        CostModel {
+            n_params: self.template.num_params(),
+            fp_per_sample: self.template.flops_forward(),
+            bp_per_sample: self.template.flops_backward(),
+            batch_size: self.cfg.batch_size,
+            local_iterations: samples.div_ceil(self.cfg.batch_size) * self.cfg.local_epochs,
+            local_samples: samples,
+        }
+    }
+
+    /// Pick this round's participants according to the selection strategy.
+    fn select_clients(&self, t: usize) -> Vec<usize> {
+        let (n, k) = (self.cfg.n_clients, self.cfg.clients_per_round);
+        let mut sel_rng = Prng::derive(self.cfg.seed, &[0x5E1E_C7 /* "SELECT" */, t as u64]);
+        let mut selected = match self.cfg.selection {
+            SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
+            SelectionStrategy::RoundRobin => {
+                (0..k).map(|i| ((t - 1) * k + i) % n).collect()
+            }
+            SelectionStrategy::WeightedBySamples => {
+                // weighted sampling without replacement (sequential draws)
+                let mut weights: Vec<f64> = self
+                    .partition
+                    .clients
+                    .iter()
+                    .map(|c| c.len() as f64)
+                    .collect();
+                let mut picked = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let total: f64 = weights.iter().sum();
+                    let mut u = sel_rng.uniform() as f64 * total;
+                    let mut chosen = 0;
+                    for (i, &w) in weights.iter().enumerate() {
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        u -= w;
+                        chosen = i;
+                        if u <= 0.0 {
+                            break;
+                        }
+                    }
+                    picked.push(chosen);
+                    weights[chosen] = 0.0;
+                }
+                picked
+            }
+        };
+        selected.sort_unstable(); // deterministic aggregation order
+        selected.dedup();
+        selected
+    }
+
+    /// Apply straggler injection: drop each selected client with the
+    /// configured probability, always keeping at least one survivor.
+    fn apply_failures(&self, t: usize, selected: &[usize]) -> Vec<usize> {
+        if self.cfg.failure_prob <= 0.0 {
+            return selected.to_vec();
+        }
+        let mut rng = Prng::derive(self.cfg.seed, &[0xFA_11, t as u64]);
+        let mut survivors: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|_| rng.uniform() >= self.cfg.failure_prob)
+            .collect();
+        if survivors.is_empty() {
+            // keep one deterministic survivor so the round still aggregates
+            survivors.push(selected[rng.below(selected.len())]);
+        }
+        survivors
+    }
+
+    /// Execute one communication round; returns the new record.
+    pub fn run_round(&mut self) -> &RoundRecord {
+        let t = self.round + 1;
+        let selected = self.apply_failures(t, &self.select_clients(t));
+
+        // pull the selected clients' states out so rayon workers own them
+        let mut taken: Vec<(usize, ClientState)> = selected
+            .iter()
+            .map(|&c| (c, std::mem::take(&mut self.states[c])))
+            .collect();
+
+        let global = &self.global;
+        let dataset = &self.dataset;
+        let partition = &self.partition;
+        let template = &self.template;
+        let cfg = &self.cfg;
+        let algorithm = &self.algorithm;
+        let round_lr = cfg.lr_schedule.lr_at(cfg.lr, t);
+
+        let outcomes: Vec<LocalOutcome> = taken
+            .par_iter_mut()
+            .map(|(client_id, state)| {
+                let mut net = template.clone();
+                net.set_params_flat(global);
+                let ctx = LocalContext {
+                    round: t,
+                    client_id: *client_id,
+                    global,
+                    gap: state.last_round.map(|lr| t.saturating_sub(lr)),
+                    epochs: cfg.local_epochs,
+                    batch_size: cfg.batch_size,
+                    lr: round_lr,
+                    momentum: cfg.momentum,
+                    seed: cfg.seed,
+                };
+                let data = ClientData {
+                    dataset,
+                    refs: &partition.clients[*client_id],
+                };
+                algorithm.local_train(&mut net, &data, state, &ctx)
+            })
+            .collect();
+
+        // return states
+        for (c, s) in taken {
+            self.states[c] = s;
+        }
+
+        // accounting: every method exchanges 2|w| parameters; extras from
+        // the attach-cost model
+        let w_bytes = self.global.len() * std::mem::size_of::<f32>();
+        let cost = self.cost_model();
+        let extra = self.algorithm.attach_cost(&cost).extra_comm_bytes;
+        for o in &outcomes {
+            self.cum_comm_bytes += (2 * w_bytes + extra) as f64;
+            self.cum_flops += o.train_flops;
+        }
+        let mean_loss = outcomes.iter().map(|o| o.mean_loss).sum::<f64>()
+            / outcomes.len().max(1) as f64;
+
+        self.algorithm.server_update(&mut self.global, &outcomes, t);
+
+        let accuracy = if t % self.cfg.eval_every == 0 {
+            Some(self.evaluate())
+        } else {
+            None
+        };
+
+        self.records.push(RoundRecord {
+            round: t,
+            accuracy,
+            mean_loss,
+            cum_comm_bytes: self.cum_comm_bytes,
+            cum_flops: self.cum_flops,
+            selected,
+        });
+        self.round = t;
+        self.records.last().expect("just pushed")
+    }
+
+    /// Run all configured rounds (continues from wherever the simulation
+    /// currently is). Returns the full record history.
+    pub fn run(&mut self) -> &[RoundRecord] {
+        while self.round < self.cfg.rounds {
+            self.run_round();
+        }
+        &self.records
+    }
+
+    /// Raise the configured round budget (used when extending a resumed
+    /// run); a target at or below the current budget is a no-op.
+    pub fn extend_rounds(&mut self, rounds: usize) {
+        if rounds > self.cfg.rounds {
+            self.cfg.rounds = rounds;
+        }
+    }
+
+    /// Test accuracy of the current global model (chunked forward pass).
+    pub fn evaluate(&self) -> f64 {
+        let mut net = self.global_model();
+        evaluate_in_chunks(&mut net, &self.test_x, &self.test_y, 200)
+    }
+
+    /// First round at which the evaluated accuracy reached `target`
+    /// (the paper's Tables IV and VI metric).
+    pub fn rounds_to_accuracy(&self, target: f64) -> Option<usize> {
+        rounds_to_accuracy(&self.records, target)
+    }
+
+    /// Mean accuracy over the last `n` evaluated rounds (the paper's Fig. 6
+    /// "final accuracy" metric).
+    pub fn final_accuracy(&self, n: usize) -> f64 {
+        final_accuracy(&self.records, n)
+    }
+}
+
+/// Chunked accuracy evaluation (bounds activation memory on big test sets).
+pub fn evaluate_in_chunks(
+    net: &mut Sequential,
+    x: &Tensor,
+    y: &[usize],
+    chunk: usize,
+) -> f64 {
+    let n = y.len();
+    assert!(n > 0, "empty test set");
+    let elems = x.len() / x.shape()[0];
+    let mut correct = 0usize;
+    let mut off = 0usize;
+    while off < n {
+        let end = (off + chunk).min(n);
+        let rows = end - off;
+        let mut shape = x.shape().to_vec();
+        shape[0] = rows;
+        let slice =
+            Tensor::from_vec(x.as_slice()[off * elems..end * elems].to_vec(), &shape)
+                .expect("chunk shape consistent");
+        let pred = net.predict(&slice);
+        correct += pred
+            .iter()
+            .zip(&y[off..end])
+            .filter(|(p, t)| p == t)
+            .count();
+        off = end;
+    }
+    correct as f64 / n as f64
+}
+
+/// First round whose evaluated accuracy reached `target`.
+pub fn rounds_to_accuracy(records: &[RoundRecord], target: f64) -> Option<usize> {
+    records
+        .iter()
+        .find(|r| r.accuracy.map(|a| a >= target).unwrap_or(false))
+        .map(|r| r.round)
+}
+
+/// Mean accuracy over the last `n` evaluated rounds.
+pub fn final_accuracy(records: &[RoundRecord], n: usize) -> f64 {
+    let accs: Vec<f64> = records.iter().filter_map(|r| r.accuracy).collect();
+    if accs.is_empty() {
+        return 0.0;
+    }
+    let tail = &accs[accs.len().saturating_sub(n)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{AlgorithmKind, HyperParams};
+
+    fn tiny_cfg(alg_seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            dataset: DatasetKind::MnistLike,
+            model: ModelKind::TinyMlp,
+            heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+            n_clients: 6,
+            clients_per_round: 3,
+            rounds: 4,
+            local_epochs: 1,
+            batch_size: 25,
+            lr: 0.05,
+            momentum: 0.9,
+            seed: alg_seed,
+            test_per_class: 5,
+            client_samples_override: Some(50),
+            eval_every: 1,
+            ..SimulationConfig::default()
+        }
+    }
+
+    fn sim(kind: AlgorithmKind, seed: u64) -> Simulation {
+        Simulation::new(tiny_cfg(seed), kind.build(&HyperParams::default()))
+    }
+
+    #[test]
+    fn runs_configured_rounds_and_records() {
+        let mut s = sim(AlgorithmKind::FedAvg, 1);
+        let records = s.run();
+        assert_eq!(records.len(), 4);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.round, i + 1);
+            assert_eq!(r.selected.len(), 3);
+            assert!(r.accuracy.is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = sim(AlgorithmKind::FedTrip, 7);
+        let mut b = sim(AlgorithmKind::FedTrip, 7);
+        a.run();
+        b.run();
+        assert_eq!(a.global_params(), b.global_params());
+        let acc_a: Vec<_> = a.records().iter().map(|r| r.accuracy).collect();
+        let acc_b: Vec<_> = b.records().iter().map(|r| r.accuracy).collect();
+        assert_eq!(acc_a, acc_b);
+    }
+
+    #[test]
+    fn different_seeds_select_differently() {
+        let mut a = sim(AlgorithmKind::FedAvg, 1);
+        let mut b = sim(AlgorithmKind::FedAvg, 2);
+        a.run();
+        b.run();
+        let sel_a: Vec<_> = a.records().iter().map(|r| r.selected.clone()).collect();
+        let sel_b: Vec<_> = b.records().iter().map(|r| r.selected.clone()).collect();
+        assert_ne!(sel_a, sel_b);
+    }
+
+    #[test]
+    fn selection_is_k_distinct_sorted_clients() {
+        let mut s = sim(AlgorithmKind::FedAvg, 3);
+        s.run();
+        for r in s.records() {
+            let mut sorted = r.selected.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted, r.selected);
+            assert!(r.selected.iter().all(|&c| c < 6));
+        }
+    }
+
+    #[test]
+    fn participation_gap_bookkeeping() {
+        let mut s = sim(AlgorithmKind::FedTrip, 4);
+        s.run();
+        // every client that participated has last_round set
+        let participated: std::collections::HashSet<usize> = s
+            .records()
+            .iter()
+            .flat_map(|r| r.selected.iter().copied())
+            .collect();
+        for (c, st) in s.client_states().iter().enumerate() {
+            assert_eq!(
+                st.last_round.is_some(),
+                participated.contains(&c),
+                "client {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn communication_grows_linearly_per_client() {
+        let mut s = sim(AlgorithmKind::FedAvg, 5);
+        s.run();
+        let w_bytes = s.global_params().len() * 4;
+        let per_round = (3 * 2 * w_bytes) as f64;
+        for (i, r) in s.records().iter().enumerate() {
+            assert!((r.cum_comm_bytes - per_round * (i + 1) as f64).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn scaffold_communication_is_double() {
+        let mut plain = sim(AlgorithmKind::FedAvg, 6);
+        let mut scaf = sim(AlgorithmKind::Scaffold, 6);
+        plain.run();
+        scaf.run();
+        let a = plain.records().last().unwrap().cum_comm_bytes;
+        let b = scaf.records().last().unwrap().cum_comm_bytes;
+        assert!((b / a - 2.0).abs() < 1e-9, "ratio {}", b / a);
+    }
+
+    #[test]
+    fn flops_accumulate_and_moon_costs_more() {
+        let mut avg = sim(AlgorithmKind::FedAvg, 8);
+        let mut moon = sim(AlgorithmKind::Moon, 8);
+        avg.run();
+        moon.run();
+        let fa = avg.records().last().unwrap().cum_flops;
+        let fm = moon.records().last().unwrap().cum_flops;
+        assert!(fa > 0.0);
+        assert!(fm > fa, "MOON {fm} should exceed FedAvg {fa}");
+    }
+
+    #[test]
+    fn accuracy_improves_over_random_guessing() {
+        let mut cfg = tiny_cfg(9);
+        cfg.rounds = 12;
+        let mut s = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        s.run();
+        let final_acc = s.final_accuracy(3);
+        assert!(
+            final_acc > 0.25,
+            "accuracy {final_acc} no better than chance (0.1)"
+        );
+    }
+
+    #[test]
+    fn rounds_to_accuracy_helper() {
+        let recs = vec![
+            RoundRecord {
+                round: 1,
+                accuracy: Some(0.3),
+                mean_loss: 0.0,
+                cum_comm_bytes: 0.0,
+                cum_flops: 0.0,
+                selected: vec![],
+            },
+            RoundRecord {
+                round: 2,
+                accuracy: Some(0.6),
+                mean_loss: 0.0,
+                cum_comm_bytes: 0.0,
+                cum_flops: 0.0,
+                selected: vec![],
+            },
+        ];
+        assert_eq!(rounds_to_accuracy(&recs, 0.5), Some(2));
+        assert_eq!(rounds_to_accuracy(&recs, 0.9), None);
+        assert_eq!(final_accuracy(&recs, 1), 0.6);
+        assert!((final_accuracy(&recs, 10) - 0.45).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "clients_per_round")]
+    fn rejects_k_greater_than_n() {
+        let mut cfg = tiny_cfg(1);
+        cfg.clients_per_round = 7;
+        let _ = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+    }
+
+    #[test]
+    fn every_algorithm_completes_a_round() {
+        for kind in AlgorithmKind::ALL {
+            let mut s = sim(kind, 11);
+            s.run_round();
+            assert_eq!(s.records().len(), 1, "{}", kind.name());
+            assert!(s.records()[0].accuracy.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn round_robin_visits_everyone_with_constant_gap() {
+        let mut cfg = tiny_cfg(13);
+        cfg.selection = SelectionStrategy::RoundRobin;
+        cfg.rounds = 4; // 4 rounds x 3 clients = 12 slots over 6 clients
+        let mut s = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        s.run();
+        let mut counts = vec![0usize; 6];
+        for r in s.records() {
+            for &c in &r.selected {
+                counts[c] += 1;
+            }
+        }
+        // perfect rotation: every client participates exactly twice
+        assert!(counts.iter().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_selection_is_valid_and_deterministic() {
+        let mut cfg = tiny_cfg(14);
+        cfg.selection = SelectionStrategy::WeightedBySamples;
+        let mut a = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        let mut b = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        a.run();
+        b.run();
+        for (ra, rb) in a.records().iter().zip(b.records()) {
+            assert_eq!(ra.selected, rb.selected);
+            let mut s = ra.selected.clone();
+            s.dedup();
+            assert_eq!(s.len(), ra.selected.len(), "duplicate selection");
+        }
+    }
+
+    #[test]
+    fn failure_injection_shrinks_participation_but_never_to_zero() {
+        let mut cfg = tiny_cfg(15);
+        cfg.failure_prob = 0.7;
+        cfg.rounds = 8;
+        let mut s = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        s.run();
+        let mut saw_shrunk = false;
+        for r in s.records() {
+            assert!(!r.selected.is_empty(), "round {} had no survivors", r.round);
+            assert!(r.selected.len() <= 3);
+            if r.selected.len() < 3 {
+                saw_shrunk = true;
+            }
+        }
+        assert!(saw_shrunk, "failure injection never dropped anyone at p=0.7");
+    }
+
+    #[test]
+    fn failure_prob_one_keeps_exactly_one_survivor() {
+        let mut cfg = tiny_cfg(16);
+        cfg.failure_prob = 1.0;
+        cfg.rounds = 3;
+        let mut s = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        s.run();
+        for r in s.records() {
+            assert_eq!(r.selected.len(), 1);
+        }
+    }
+
+    #[test]
+    fn lr_schedule_changes_trajectory() {
+        use fedtrip_tensor::optim::LrSchedule;
+        let mut cfg = tiny_cfg(17);
+        cfg.rounds = 6;
+        let mut constant =
+            Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        let mut decayed_cfg = cfg;
+        decayed_cfg.lr_schedule = LrSchedule::StepDecay { every: 2, factor: 0.1 };
+        let mut decayed =
+            Simulation::new(decayed_cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        constant.run();
+        decayed.run();
+        assert_ne!(constant.global_params(), decayed.global_params());
+    }
+}

@@ -1,0 +1,29 @@
+//! # fedtrip-core
+//!
+//! The federated-learning engine of the FedTrip reproduction.
+//!
+//! * [`engine`] — the synchronous round loop of the paper's §III-A: seeded
+//!   K-of-N client selection, parallel local training (rayon), weighted
+//!   aggregation `w_t = Σ a_k w_k` (Eq. 2), and per-round evaluation.
+//! * [`algorithms`] — the paper's contribution (**FedTrip**, Algorithm 1) and
+//!   every baseline it is evaluated against: FedAvg, FedProx, MOON, FedDyn,
+//!   SlowMo, plus the Appendix-A comparators SCAFFOLD and MimeLite.
+//! * [`costs`] — the analytic resource model of Appendix A / Table VIII:
+//!   per-iteration "attaching operation" FLOPs and communication overhead of
+//!   every method, composed with model forward/backward FLOPs to reproduce
+//!   Tables V and VIII.
+//! * [`experiment`] — declarative experiment specs with `smoke` / `default` /
+//!   `paper` scales, shared by the examples, the integration tests and every
+//!   table/figure binary in `fedtrip-bench`.
+
+pub mod algorithms;
+pub mod checkpoint;
+pub mod costs;
+pub mod engine;
+pub mod experiment;
+
+pub use algorithms::{Algorithm, AlgorithmKind, HyperParams};
+pub use checkpoint::Checkpoint;
+pub use costs::{AttachCost, CostModel};
+pub use engine::{RoundRecord, SelectionStrategy, Simulation, SimulationConfig};
+pub use experiment::{ExperimentSpec, Scale};

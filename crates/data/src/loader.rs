@@ -1,0 +1,119 @@
+//! Mini-batch iteration over a client's samples.
+
+use crate::synth::{SampleRef, SyntheticVision};
+use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::Tensor;
+
+/// An iterator over shuffled mini-batches of one client's local data.
+///
+/// Shuffling happens once per construction (i.e. per local epoch) with the
+/// provided RNG, matching the per-epoch reshuffle of a PyTorch `DataLoader`.
+/// The final partial batch is kept (drop_last = false), as in the paper's
+/// framework defaults.
+pub struct BatchIter<'a> {
+    dataset: &'a SyntheticVision,
+    order: Vec<SampleRef>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl<'a> BatchIter<'a> {
+    /// Create a shuffled batch iterator.
+    ///
+    /// # Panics
+    /// Panics on a zero batch size.
+    pub fn new(
+        dataset: &'a SyntheticVision,
+        refs: &[SampleRef],
+        batch_size: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order = refs.to_vec();
+        rng.shuffle(&mut order);
+        BatchIter {
+            dataset,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+
+    /// Number of batches this iterator will yield in total.
+    pub fn num_batches(&self) -> usize {
+        self.order.len().div_ceil(self.batch_size)
+    }
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = (Tensor, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = &self.order[self.cursor..end];
+        self.cursor = end;
+        Some(self.dataset.batch(batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetKind;
+
+    fn refs(n: u32) -> Vec<SampleRef> {
+        (0..n)
+            .map(|i| SampleRef {
+                class: (i % 10) as u16,
+                id: i / 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn yields_all_samples_exactly_once() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 1);
+        let rs = refs(25);
+        let mut rng = Prng::seed_from_u64(2);
+        let it = BatchIter::new(&d, &rs, 10, &mut rng);
+        assert_eq!(it.num_batches(), 3);
+        let sizes: Vec<usize> = it.map(|(x, _)| x.shape()[0]).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
+    fn exact_division_has_no_partial_batch() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 1);
+        let rs = refs(20);
+        let mut rng = Prng::seed_from_u64(2);
+        let it = BatchIter::new(&d, &rs, 10, &mut rng);
+        assert_eq!(it.num_batches(), 2);
+        assert_eq!(it.count(), 2);
+    }
+
+    #[test]
+    fn shuffling_is_seeded() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 1);
+        let rs = refs(30);
+        let mut r1 = Prng::seed_from_u64(5);
+        let mut r2 = Prng::seed_from_u64(5);
+        let a: Vec<_> = BatchIter::new(&d, &rs, 8, &mut r1)
+            .map(|(_, y)| y)
+            .collect();
+        let b: Vec<_> = BatchIter::new(&d, &rs, 8, &mut r2)
+            .map(|(_, y)| y)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 1);
+        let mut rng = Prng::seed_from_u64(0);
+        let _ = BatchIter::new(&d, &refs(4), 0, &mut rng);
+    }
+}

@@ -1,0 +1,399 @@
+//! Non-IID data partitioners (paper §V-A "Data Partitioning").
+//!
+//! Two heterogeneity families from the paper plus an IID control:
+//!
+//! * **Dirichlet**: each client draws a class-probability vector from
+//!   `Dir(alpha)` and fills its quota by sampling classes from that vector
+//!   *without replacement* from finite per-class pools (the LEAF-style
+//!   procedure the paper describes). `alpha = 0.1` is highly skewed,
+//!   `alpha = 0.5` moderate.
+//! * **Orthogonal-k**: clients are split into `k` clusters; each cluster owns
+//!   a disjoint slice of the classes and its clients sample IID within it.
+//!   `Orthogonal-10` with 10 classes gives one class per client.
+//! * **IID**: every client samples uniformly over all classes.
+
+use crate::synth::{DatasetSpec, SampleRef};
+use fedtrip_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// The heterogeneity regimes evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeterogeneityKind {
+    /// Independent and identically distributed labels.
+    Iid,
+    /// Dirichlet label skew with concentration `alpha` (paper: 0.1, 0.5).
+    Dirichlet(f64),
+    /// `k` clusters with mutually orthogonal class sets (paper: 5, 10).
+    Orthogonal(usize),
+}
+
+impl HeterogeneityKind {
+    /// Display name matching the paper's figure/table labels.
+    pub fn name(&self) -> String {
+        match self {
+            HeterogeneityKind::Iid => "IID".to_string(),
+            HeterogeneityKind::Dirichlet(a) => format!("Dir-{a}"),
+            HeterogeneityKind::Orthogonal(k) => format!("Orthogonal-{k}"),
+        }
+    }
+}
+
+/// A federated partition: which samples each client owns.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Partition {
+    /// Per-client sample references.
+    pub clients: Vec<Vec<SampleRef>>,
+    /// Number of classes in the underlying dataset.
+    pub classes: usize,
+    /// The regime that produced this partition.
+    pub kind: HeterogeneityKind,
+}
+
+impl Partition {
+    /// Build a partition of `n_clients`, each holding
+    /// `spec.client_samples` samples, under the given regime.
+    ///
+    /// # Panics
+    /// Panics if the total requested samples exceed the dataset pools, or if
+    /// an orthogonal cluster count does not divide sensibly (more clusters
+    /// than classes).
+    pub fn build(
+        spec: &DatasetSpec,
+        kind: HeterogeneityKind,
+        n_clients: usize,
+        seed: u64,
+    ) -> Partition {
+        assert!(n_clients > 0, "need at least one client");
+        let need = n_clients * spec.client_samples;
+        assert!(
+            need <= spec.total_samples,
+            "partition needs {need} samples but dataset has {}",
+            spec.total_samples
+        );
+        let mut pools = ClassPools::new(spec.classes, spec.pool_per_class());
+        let clients = match kind {
+            HeterogeneityKind::Iid => {
+                let probs = vec![1.0; spec.classes];
+                (0..n_clients)
+                    .map(|c| {
+                        let mut rng = Prng::derive(seed, &[0x1D, c as u64]);
+                        pools.draw(&probs, spec.client_samples, &mut rng)
+                    })
+                    .collect()
+            }
+            HeterogeneityKind::Dirichlet(alpha) => {
+                assert!(alpha > 0.0, "Dirichlet alpha must be positive");
+                (0..n_clients)
+                    .map(|c| {
+                        let mut rng = Prng::derive(seed, &[0xD1, c as u64]);
+                        let probs = dirichlet(alpha, spec.classes, &mut rng);
+                        pools.draw(&probs, spec.client_samples, &mut rng)
+                    })
+                    .collect()
+            }
+            HeterogeneityKind::Orthogonal(k) => {
+                assert!(k > 0 && k <= spec.classes, "need 1..=classes clusters");
+                (0..n_clients)
+                    .map(|c| {
+                        let cluster = c % k;
+                        // classes are split into k contiguous groups; group g
+                        // covers classes [g*classes/k, (g+1)*classes/k)
+                        let lo = cluster * spec.classes / k;
+                        let hi = (cluster + 1) * spec.classes / k;
+                        let probs: Vec<f64> = (0..spec.classes)
+                            .map(|cl| if cl >= lo && cl < hi { 1.0 } else { 0.0 })
+                            .collect();
+                        let mut rng = Prng::derive(seed, &[0x0A, c as u64]);
+                        pools.draw(&probs, spec.client_samples, &mut rng)
+                    })
+                    .collect()
+            }
+        };
+        Partition {
+            clients,
+            classes: spec.classes,
+            kind,
+        }
+    }
+
+    /// Number of clients.
+    pub fn n_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Per-client histogram over *generating* classes (paper Fig. 4).
+    pub fn label_histograms(&self) -> Vec<Vec<usize>> {
+        self.clients
+            .iter()
+            .map(|refs| {
+                let mut h = vec![0usize; self.classes];
+                for r in refs {
+                    h[r.class as usize] += 1;
+                }
+                h
+            })
+            .collect()
+    }
+
+    /// Number of classes with at least one sample, per client.
+    pub fn classes_per_client(&self) -> Vec<usize> {
+        self.label_histograms()
+            .iter()
+            .map(|h| h.iter().filter(|&&c| c > 0).count())
+            .collect()
+    }
+
+    /// Earth-mover-style skew statistic: mean total-variation distance
+    /// between each client's label distribution and the global uniform one.
+    /// 0 = perfectly IID, approaches `1 - 1/classes` for one-class clients.
+    pub fn skew(&self) -> f64 {
+        let hists = self.label_histograms();
+        let mut total = 0.0;
+        for h in &hists {
+            let n: usize = h.iter().sum();
+            if n == 0 {
+                continue;
+            }
+            let tv: f64 = h
+                .iter()
+                .map(|&c| (c as f64 / n as f64 - 1.0 / self.classes as f64).abs())
+                .sum::<f64>()
+                / 2.0;
+            total += tv;
+        }
+        total / hists.len() as f64
+    }
+}
+
+/// Finite per-class sample pools; draws hand out fresh ids without
+/// replacement and renormalize over non-empty classes.
+struct ClassPools {
+    /// Next unused id per class.
+    next_id: Vec<u32>,
+    /// Pool capacity per class.
+    cap: u32,
+}
+
+impl ClassPools {
+    fn new(classes: usize, per_class: usize) -> Self {
+        ClassPools {
+            next_id: vec![0; classes],
+            cap: per_class as u32,
+        }
+    }
+
+    fn remaining(&self, class: usize) -> u32 {
+        self.cap - self.next_id[class]
+    }
+
+    /// Draw `count` samples according to unnormalized class weights,
+    /// skipping exhausted classes.
+    fn draw(&mut self, weights: &[f64], count: usize, rng: &mut Prng) -> Vec<SampleRef> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let total: f64 = weights
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| self.remaining(*c) > 0)
+                .map(|(_, &w)| w)
+                .sum();
+            assert!(
+                total > 0.0,
+                "all requested classes exhausted (pools too small for partition)"
+            );
+            let mut u = rng.uniform() as f64 * total;
+            let mut chosen = None;
+            for (c, &w) in weights.iter().enumerate() {
+                if self.remaining(c) == 0 {
+                    continue;
+                }
+                u -= w;
+                if u <= 0.0 {
+                    chosen = Some(c);
+                    break;
+                }
+            }
+            // floating-point edge: fall back to the last viable class
+            let c = chosen.unwrap_or_else(|| {
+                (0..weights.len())
+                    .rev()
+                    .find(|&c| self.remaining(c) > 0 && weights[c] > 0.0)
+                    .expect("viable class exists because total > 0")
+            });
+            out.push(SampleRef {
+                class: c as u16,
+                id: self.next_id[c],
+            });
+            self.next_id[c] += 1;
+        }
+        out
+    }
+}
+
+/// Sample a probability vector from `Dir(alpha * 1)`.
+fn dirichlet(alpha: f64, k: usize, rng: &mut Prng) -> Vec<f64> {
+    let mut g: Vec<f64> = (0..k).map(|_| rng.gamma(alpha).max(1e-300)).collect();
+    let s: f64 = g.iter().sum();
+    for v in &mut g {
+        *v /= s;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetKind;
+
+    fn spec() -> DatasetSpec {
+        DatasetKind::MnistLike.spec()
+    }
+
+    #[test]
+    fn every_client_gets_its_quota() {
+        let p = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 10, 1);
+        assert_eq!(p.n_clients(), 10);
+        for c in &p.clients {
+            assert_eq!(c.len(), 600);
+        }
+    }
+
+    #[test]
+    fn samples_are_disjoint_across_clients() {
+        let p = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.1), 10, 2);
+        let mut seen = std::collections::HashSet::new();
+        for c in &p.clients {
+            for r in c {
+                assert!(seen.insert((r.class, r.id)), "duplicate sample {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ids_stay_within_pool() {
+        let s = spec();
+        let p = Partition::build(&s, HeterogeneityKind::Iid, 10, 3);
+        let cap = s.pool_per_class() as u32;
+        for c in &p.clients {
+            for r in c {
+                assert!(r.id < cap);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 6, 9);
+        let b = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 6, 9);
+        assert_eq!(a.clients, b.clients);
+        let c = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 6, 10);
+        assert_ne!(a.clients, c.clients);
+    }
+
+    #[test]
+    fn dirichlet_skew_ordering_matches_paper() {
+        // Fig. 4: Dir-0.1 is more skewed than Dir-0.5, which is more skewed
+        // than IID.
+        let iid = Partition::build(&spec(), HeterogeneityKind::Iid, 10, 4);
+        let d5 = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 10, 4);
+        let d1 = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.1), 10, 4);
+        assert!(iid.skew() < d5.skew(), "{} !< {}", iid.skew(), d5.skew());
+        assert!(d5.skew() < d1.skew(), "{} !< {}", d5.skew(), d1.skew());
+    }
+
+    #[test]
+    fn dir01_clients_hold_few_classes() {
+        // Paper: under Dir-0.1 most clients hold 1-2 dominant classes. With
+        // finite pools some spillover happens; check the dominant mass.
+        let p = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.1), 10, 5);
+        let hists = p.label_histograms();
+        let mut dominant = 0.0;
+        for h in &hists {
+            let n: usize = h.iter().sum();
+            let mut sorted = h.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            dominant += (sorted[0] + sorted[1]) as f64 / n as f64;
+        }
+        dominant /= hists.len() as f64;
+        assert!(dominant > 0.6, "top-2 class mass {dominant} too low for Dir-0.1");
+    }
+
+    #[test]
+    fn orthogonal_5_two_classes_each() {
+        // 10 classes, 5 clusters -> each cluster owns exactly 2 classes.
+        let p = Partition::build(&spec(), HeterogeneityKind::Orthogonal(5), 10, 6);
+        for (ci, h) in p.label_histograms().iter().enumerate() {
+            let nz: Vec<usize> = (0..10).filter(|&c| h[c] > 0).collect();
+            assert!(nz.len() <= 2, "client {ci} has classes {nz:?}");
+            let cluster = ci % 5;
+            for c in nz {
+                assert_eq!(c / 2, cluster, "class {c} outside cluster {cluster}");
+            }
+        }
+    }
+
+    #[test]
+    fn orthogonal_10_single_class_each() {
+        let p = Partition::build(&spec(), HeterogeneityKind::Orthogonal(10), 10, 7);
+        for h in p.classes_per_client() {
+            assert_eq!(h, 1);
+        }
+    }
+
+    #[test]
+    fn orthogonal_clusters_are_mutually_disjoint_in_classes() {
+        let p = Partition::build(&spec(), HeterogeneityKind::Orthogonal(5), 10, 8);
+        let hists = p.label_histograms();
+        // client i and client j in different clusters share no class
+        for i in 0..10 {
+            for j in 0..10 {
+                if i % 5 == j % 5 {
+                    continue;
+                }
+                for c in 0..10 {
+                    assert!(
+                        !(hists[i][c] > 0 && hists[j][c] > 0),
+                        "clients {i},{j} share class {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn iid_is_roughly_uniform() {
+        let p = Partition::build(&spec(), HeterogeneityKind::Iid, 4, 9);
+        for h in p.label_histograms() {
+            for &c in &h {
+                // 600 samples over 10 classes -> expect 60 per class
+                assert!((20..=120).contains(&c), "count {c} too far from 60");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "partition needs")]
+    fn rejects_oversubscription() {
+        let mut s = spec();
+        s.client_samples = s.total_samples; // one client wants everything
+        let _ = Partition::build(&s, HeterogeneityKind::Iid, 2, 0);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(HeterogeneityKind::Dirichlet(0.1).name(), "Dir-0.1");
+        assert_eq!(HeterogeneityKind::Orthogonal(5).name(), "Orthogonal-5");
+        assert_eq!(HeterogeneityKind::Iid.name(), "IID");
+    }
+
+    #[test]
+    fn dirichlet_probabilities_sum_to_one() {
+        let mut rng = Prng::seed_from_u64(1);
+        for &alpha in &[0.1, 0.5, 1.0, 10.0] {
+            let p = dirichlet(alpha, 12, &mut rng);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Procedural class-conditional image datasets.
+//!
+//! Each class of a dataset owns a *prototype* image — a seeded mixture of
+//! Gaussian blobs (per channel). A sample is the prototype under a random
+//! integer translation and amplitude scaling, plus per-pixel Gaussian noise,
+//! and (to give the paper's "target accuracy" thresholds meaning) a fixed
+//! fraction of samples carry a *flipped label*, which caps the achievable
+//! accuracy per dataset near the paper's reported plateaus.
+//!
+//! Determinism: pixels and the (possibly flipped) label of a sample are pure
+//! functions of `(dataset seed, class, sample id)` — no global state, no
+//! materialized arrays, safe to synthesize concurrently from rayon workers.
+
+use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The four dataset presets of paper Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// MNIST-like: 28x28 grayscale, 10 classes, 600 samples/client.
+    MnistLike,
+    /// FashionMNIST-like: 28x28 grayscale, 10 classes, 1000 samples/client.
+    FmnistLike,
+    /// EMNIST-like: 28x28 grayscale, 47 classes, 3000 samples/client.
+    EmnistLike,
+    /// CIFAR-10-like: 32x32 RGB, 10 classes, 2000 samples/client.
+    Cifar10Like,
+}
+
+impl DatasetKind {
+    /// All presets, in the paper's Table II order.
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::MnistLike,
+        DatasetKind::FmnistLike,
+        DatasetKind::EmnistLike,
+        DatasetKind::Cifar10Like,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::MnistLike => "MNIST",
+            DatasetKind::FmnistLike => "FMNIST",
+            DatasetKind::EmnistLike => "EMNIST",
+            DatasetKind::Cifar10Like => "CIFAR-10",
+        }
+    }
+
+    /// The dataset geometry and difficulty parameters.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::MnistLike => DatasetSpec {
+                kind: *self,
+                classes: 10,
+                channels: 1,
+                height: 28,
+                width: 28,
+                total_samples: 60_000,
+                client_samples: 600,
+                pixel_noise: 0.55,
+                jitter: 3,
+                label_flip: 0.02,
+                blob_count: 4,
+                class_scale: 0.55,
+                amp_jitter: 0.35,
+            },
+            DatasetKind::FmnistLike => DatasetSpec {
+                kind: *self,
+                classes: 10,
+                channels: 1,
+                height: 28,
+                width: 28,
+                total_samples: 60_000,
+                client_samples: 1_000,
+                pixel_noise: 0.60,
+                jitter: 3,
+                label_flip: 0.08,
+                blob_count: 3,
+                class_scale: 0.60,
+                amp_jitter: 0.45,
+            },
+            DatasetKind::EmnistLike => DatasetSpec {
+                kind: *self,
+                classes: 47,
+                channels: 1,
+                height: 28,
+                width: 28,
+                total_samples: 112_800,
+                client_samples: 3_000,
+                pixel_noise: 0.45,
+                jitter: 2,
+                label_flip: 0.15,
+                blob_count: 4,
+                class_scale: 0.85,
+                amp_jitter: 0.35,
+            },
+            DatasetKind::Cifar10Like => DatasetSpec {
+                kind: *self,
+                classes: 10,
+                channels: 3,
+                height: 32,
+                width: 32,
+                total_samples: 50_000,
+                client_samples: 2_000,
+                pixel_noise: 0.90,
+                jitter: 3,
+                label_flip: 0.20,
+                blob_count: 3,
+                class_scale: 0.40,
+                amp_jitter: 0.55,
+            },
+        }
+    }
+}
+
+/// Geometry + difficulty of one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which preset this spec belongs to.
+    pub kind: DatasetKind,
+    /// Number of classes.
+    pub classes: usize,
+    /// Image channels (1 = grayscale, 3 = RGB).
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Total training samples (paper Table II "Total Samples").
+    pub total_samples: usize,
+    /// Training samples held by each client (paper Table II).
+    pub client_samples: usize,
+    /// Standard deviation of additive pixel noise.
+    pub pixel_noise: f32,
+    /// Maximum absolute integer translation applied to the prototype.
+    pub jitter: i32,
+    /// Fraction of samples whose label is flipped to a random other class —
+    /// this bounds achievable accuracy and makes "target accuracy" rows
+    /// meaningful.
+    pub label_flip: f64,
+    /// Gaussian blobs per prototype channel.
+    pub blob_count: usize,
+    /// Amplitude of the class-specific pattern relative to the shared
+    /// (class-independent) background pattern. Smaller values make classes
+    /// harder to tell apart.
+    pub class_scale: f32,
+    /// Per-sample multiplicative jitter on each class blob's amplitude
+    /// (intra-class appearance variability).
+    pub amp_jitter: f32,
+}
+
+impl DatasetSpec {
+    /// Elements of one sample (`channels * height * width`).
+    pub fn sample_elems(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Per-sample tensor shape `[channels, height, width]`.
+    pub fn sample_shape(&self) -> [usize; 3] {
+        [self.channels, self.height, self.width]
+    }
+
+    /// Training pool size per class (balanced pools).
+    pub fn pool_per_class(&self) -> usize {
+        self.total_samples / self.classes
+    }
+}
+
+/// A reference to one synthesizable sample: `(class, id)` within the class
+/// pool. Test-set samples use ids beyond the training pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SampleRef {
+    /// Generating class (the *true* class; the observed label may be flipped).
+    pub class: u16,
+    /// Sample id within the class pool.
+    pub id: u32,
+}
+
+/// One Gaussian blob of a class prototype.
+#[derive(Debug, Clone, Copy)]
+struct Blob {
+    cx: f32,
+    cy: f32,
+    sigma: f32,
+    amp: f32,
+}
+
+/// A procedural class-conditional image dataset.
+///
+/// Cheap to clone (prototypes are shared via `Arc`-free copy of a small
+/// `Vec`), and all sampling is deterministic in `(seed, class, id)`.
+#[derive(Debug, Clone)]
+pub struct SyntheticVision {
+    spec: DatasetSpec,
+    seed: u64,
+    /// `[class][channel]` blob lists — the class-specific pattern.
+    prototypes: Vec<Vec<Vec<Blob>>>,
+    /// `[channel]` blob lists — the shared background pattern every class
+    /// sits on (classes differ only by `class_scale * prototype`).
+    base: Vec<Vec<Blob>>,
+}
+
+impl SyntheticVision {
+    /// Domain tag for prototype generation streams.
+    const TAG_PROTO: u64 = 0x50_52_4f_54; // "PROT"
+    /// Domain tag for the shared background streams.
+    const TAG_BASE: u64 = 0x42_41_53_45; // "BASE"
+    /// Domain tag for per-sample streams.
+    const TAG_SAMPLE: u64 = 0x53_41_4d_50; // "SAMP"
+
+    /// Build a dataset with the given preset and seed.
+    pub fn new(kind: DatasetKind, seed: u64) -> Self {
+        let spec = kind.spec();
+        let mut prototypes = Vec::with_capacity(spec.classes);
+        for class in 0..spec.classes {
+            let mut per_channel = Vec::with_capacity(spec.channels);
+            for ch in 0..spec.channels {
+                let mut rng =
+                    Prng::derive(seed, &[Self::TAG_PROTO, class as u64, ch as u64]);
+                let blobs = (0..spec.blob_count)
+                    .map(|_| Blob {
+                        cx: rng.uniform() * spec.width as f32,
+                        cy: rng.uniform() * spec.height as f32,
+                        sigma: spec.height as f32 * (0.10 + 0.15 * rng.uniform()),
+                        amp: if rng.uniform() < 0.25 { -1.0 } else { 1.0 }
+                            * (0.6 + 0.4 * rng.uniform()),
+                    })
+                    .collect();
+                per_channel.push(blobs);
+            }
+            prototypes.push(per_channel);
+        }
+        let mut base = Vec::with_capacity(spec.channels);
+        for ch in 0..spec.channels {
+            let mut rng = Prng::derive(seed, &[Self::TAG_BASE, ch as u64]);
+            let blobs = (0..spec.blob_count + 1)
+                .map(|_| Blob {
+                    cx: rng.uniform() * spec.width as f32,
+                    cy: rng.uniform() * spec.height as f32,
+                    sigma: spec.height as f32 * (0.15 + 0.20 * rng.uniform()),
+                    amp: if rng.uniform() < 0.5 { -1.0 } else { 1.0 }
+                        * (0.5 + 0.5 * rng.uniform()),
+                })
+                .collect();
+            base.push(blobs);
+        }
+        SyntheticVision {
+            spec,
+            seed,
+            prototypes,
+            base,
+        }
+    }
+
+    /// The dataset spec.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// Seed the dataset was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The *observed* label of a sample (true class, except for the
+    /// deterministic `label_flip` fraction, which maps to a different class).
+    pub fn label_of(&self, r: SampleRef) -> usize {
+        let mut rng = Prng::derive(
+            self.seed,
+            &[Self::TAG_SAMPLE, r.class as u64, r.id as u64, 0xF11B],
+        );
+        if (rng.uniform() as f64) < self.spec.label_flip {
+            // flip to a uniformly random *other* class
+            let other = rng.below(self.spec.classes - 1);
+            if other >= r.class as usize {
+                other + 1
+            } else {
+                other
+            }
+        } else {
+            r.class as usize
+        }
+    }
+
+    /// Synthesize the pixels of one sample into `out` (length
+    /// `sample_elems()`), normalized to roughly `[-1, 1]`.
+    pub fn write_sample(&self, r: SampleRef, out: &mut [f32]) {
+        let spec = &self.spec;
+        debug_assert_eq!(out.len(), spec.sample_elems());
+        let mut rng = Prng::derive(self.seed, &[Self::TAG_SAMPLE, r.class as u64, r.id as u64]);
+        let dx = rng.below(2 * spec.jitter as usize + 1) as i32 - spec.jitter;
+        let dy = rng.below(2 * spec.jitter as usize + 1) as i32 - spec.jitter;
+        let scale = 0.8 + 0.4 * rng.uniform();
+
+        let (h, w) = (spec.height, spec.width);
+        for (ch, blobs) in self.prototypes[r.class as usize].iter().enumerate() {
+            // per-sample multiplicative jitter on each class blob
+            let amp_jit: Vec<f32> = blobs
+                .iter()
+                .map(|_| 1.0 + spec.amp_jitter * rng.normal())
+                .collect();
+            let base_blobs = &self.base[ch];
+            let plane = &mut out[ch * h * w..(ch + 1) * h * w];
+            for y in 0..h {
+                for x in 0..w {
+                    // evaluate both patterns at the *source* location
+                    let sx = x as f32 - dx as f32;
+                    let sy = y as f32 - dy as f32;
+                    let mut shared = 0.0f32;
+                    for b in base_blobs {
+                        let ddx = sx - b.cx;
+                        let ddy = sy - b.cy;
+                        let d2 = ddx * ddx + ddy * ddy;
+                        shared += b.amp * (-d2 / (2.0 * b.sigma * b.sigma)).exp();
+                    }
+                    let mut class_part = 0.0f32;
+                    for (b, &jit) in blobs.iter().zip(&amp_jit) {
+                        let ddx = sx - b.cx;
+                        let ddy = sy - b.cy;
+                        let d2 = ddx * ddx + ddy * ddy;
+                        class_part += jit * b.amp * (-d2 / (2.0 * b.sigma * b.sigma)).exp();
+                    }
+                    plane[y * w + x] = scale * (shared + spec.class_scale * class_part);
+                }
+            }
+            for v in plane.iter_mut() {
+                *v += spec.pixel_noise * rng.normal();
+            }
+        }
+    }
+
+    /// Synthesize a mini-batch: `[batch, C, H, W]` tensor plus observed labels.
+    pub fn batch(&self, refs: &[SampleRef]) -> (Tensor, Vec<usize>) {
+        assert!(!refs.is_empty(), "empty batch");
+        let spec = &self.spec;
+        let elems = spec.sample_elems();
+        let mut data = vec![0.0f32; refs.len() * elems];
+        let mut labels = Vec::with_capacity(refs.len());
+        for (i, &r) in refs.iter().enumerate() {
+            self.write_sample(r, &mut data[i * elems..(i + 1) * elems]);
+            labels.push(self.label_of(r));
+        }
+        let t = Tensor::from_vec(
+            data,
+            &[refs.len(), spec.channels, spec.height, spec.width],
+        )
+        .expect("batch shape consistent by construction");
+        (t, labels)
+    }
+
+    /// A balanced held-out test set (`per_class` samples per class), drawn
+    /// from ids *beyond* the training pool so it never overlaps client data.
+    pub fn test_set(&self, per_class: usize) -> (Tensor, Vec<usize>) {
+        let pool = self.spec.pool_per_class() as u32;
+        let refs: Vec<SampleRef> = (0..self.spec.classes as u16)
+            .flat_map(|class| {
+                (0..per_class as u32).map(move |i| SampleRef {
+                    class,
+                    id: pool + i,
+                })
+            })
+            .collect();
+        self.batch(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_geometry_matches_paper() {
+        // Paper Table II rows.
+        let m = DatasetKind::MnistLike.spec();
+        assert_eq!((m.total_samples, m.classes, m.channels, m.client_samples), (60_000, 10, 1, 600));
+        let f = DatasetKind::FmnistLike.spec();
+        assert_eq!((f.total_samples, f.classes, f.channels, f.client_samples), (60_000, 10, 1, 1_000));
+        let e = DatasetKind::EmnistLike.spec();
+        assert_eq!((e.total_samples, e.classes, e.channels, e.client_samples), (112_800, 47, 1, 3_000));
+        let c = DatasetKind::Cifar10Like.spec();
+        assert_eq!((c.total_samples, c.classes, c.channels, c.client_samples), (50_000, 10, 3, 2_000));
+    }
+
+    #[test]
+    fn samples_are_deterministic() {
+        let d1 = SyntheticVision::new(DatasetKind::MnistLike, 42);
+        let d2 = SyntheticVision::new(DatasetKind::MnistLike, 42);
+        let r = SampleRef { class: 3, id: 17 };
+        let mut a = vec![0.0; d1.spec().sample_elems()];
+        let mut b = vec![0.0; d2.spec().sample_elems()];
+        d1.write_sample(r, &mut a);
+        d2.write_sample(r, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(d1.label_of(r), d2.label_of(r));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let d1 = SyntheticVision::new(DatasetKind::MnistLike, 1);
+        let d2 = SyntheticVision::new(DatasetKind::MnistLike, 2);
+        let r = SampleRef { class: 0, id: 0 };
+        let mut a = vec![0.0; d1.spec().sample_elems()];
+        let mut b = vec![0.0; d2.spec().sample_elems()];
+        d1.write_sample(r, &mut a);
+        d2.write_sample(r, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_ids_differ_within_class() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 7);
+        let mut a = vec![0.0; d.spec().sample_elems()];
+        let mut b = vec![0.0; d.spec().sample_elems()];
+        d.write_sample(SampleRef { class: 5, id: 0 }, &mut a);
+        d.write_sample(SampleRef { class: 5, id: 1 }, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn label_flip_rate_is_near_spec() {
+        let d = SyntheticVision::new(DatasetKind::EmnistLike, 11);
+        let n = 8_000u32;
+        let flipped = (0..n)
+            .filter(|&id| d.label_of(SampleRef { class: 4, id }) != 4)
+            .count();
+        let rate = flipped as f64 / n as f64;
+        let expect = d.spec().label_flip;
+        assert!(
+            (rate - expect).abs() < 0.02,
+            "flip rate {rate} vs spec {expect}"
+        );
+    }
+
+    #[test]
+    fn flipped_labels_stay_in_range() {
+        let d = SyntheticVision::new(DatasetKind::Cifar10Like, 13);
+        for id in 0..500 {
+            let l = d.label_of(SampleRef { class: 9, id });
+            assert!(l < d.spec().classes);
+        }
+    }
+
+    #[test]
+    fn batch_shape_and_labels() {
+        let d = SyntheticVision::new(DatasetKind::Cifar10Like, 3);
+        let refs: Vec<SampleRef> = (0..4).map(|i| SampleRef { class: i, id: 0 }).collect();
+        let (x, y) = d.batch(&refs);
+        assert_eq!(x.shape(), &[4, 3, 32, 32]);
+        assert_eq!(y.len(), 4);
+    }
+
+    #[test]
+    fn test_set_is_balanced_and_disjoint_from_train_pool() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 5);
+        let (x, y) = d.test_set(3);
+        assert_eq!(x.shape()[0], 30);
+        // 3 of each true class were requested; observed labels may be
+        // flipped but counts of generating classes are exact by construction.
+        assert_eq!(y.len(), 30);
+    }
+
+    #[test]
+    fn class_prototypes_are_separable() {
+        // nearest-class-mean classification must beat chance by a wide
+        // margin — this guards against degenerate prototypes. (The tasks are
+        // deliberately noisy; a trained CNN reaches ~93%, while this crude
+        // pixel-space classifier only needs to clear 5x chance.)
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 19);
+        let elems = d.spec().sample_elems();
+        let per_class = 32;
+        // class means from samples
+        let mut means = vec![vec![0.0f32; elems]; 10];
+        for c in 0..10u16 {
+            let mut buf = vec![0.0; elems];
+            for id in 0..per_class {
+                d.write_sample(SampleRef { class: c, id }, &mut buf);
+                for (m, &v) in means[c as usize].iter_mut().zip(&buf) {
+                    *m += v / per_class as f32;
+                }
+            }
+        }
+        // classify fresh samples by nearest mean
+        let mut correct = 0;
+        let mut total = 0;
+        let mut buf = vec![0.0; elems];
+        for c in 0..10u16 {
+            for id in per_class..per_class + 8 {
+                d.write_sample(SampleRef { class: c, id }, &mut buf);
+                let best = (0..10)
+                    .min_by(|&a, &b| {
+                        let da: f32 = means[a].iter().zip(&buf).map(|(m, v)| (m - v).powi(2)).sum();
+                        let db: f32 = means[b].iter().zip(&buf).map(|(m, v)| (m - v).powi(2)).sum();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                if best == c as usize {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        let acc = correct as f64 / total as f64;
+        assert!(acc > 0.5, "nearest-prototype accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn pixel_values_are_bounded_sane() {
+        let d = SyntheticVision::new(DatasetKind::FmnistLike, 23);
+        let mut buf = vec![0.0; d.spec().sample_elems()];
+        d.write_sample(SampleRef { class: 2, id: 9 }, &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite() && v.abs() < 6.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Table rendering and result artifacts.
+//!
+//! Every experiment binary prints a fixed-width table of
+//! paper-value-vs-measured-value rows and writes the same data as JSON under
+//! `results/`, so EXPERIMENTS.md can be regenerated mechanically.
+
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable values.
+    pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with fixed-width columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Serialize `value` as pretty JSON under `results/<name>.json`, creating
+/// the directory if needed. Returns the written path.
+pub fn save_json<T: Serialize>(results_dir: &Path, name: &str, value: &T) -> io::Result<std::path::PathBuf> {
+    fs::create_dir_all(results_dir)?;
+    let path = results_dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Format a speedup factor the way the paper prints it (`1.75x`, `>2.86x`).
+pub fn speedup(rounds_baseline: Option<usize>, rounds_method: usize) -> String {
+    match rounds_baseline {
+        Some(r) => format!("{:.2}x", r as f64 / rounds_method as f64),
+        None => ">-x (baseline never reached target)".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["method", "rounds"]);
+        t.row(&["FedTrip".into(), "28".into()]);
+        t.row(&["FedAvg".into(), "49".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+        // columns aligned: "rounds" starts at the same offset everywhere
+        let off = lines[1].find("rounds").unwrap();
+        assert_eq!(&lines[3][off..off + 2], "28");
+        assert_eq!(&lines[4][off..off + 2], "49");
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new("m", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn save_json_round_trips() {
+        let dir = std::env::temp_dir().join("fedtrip_report_test");
+        let path = save_json(&dir, "unit", &vec![1, 2, 3]).unwrap();
+        let body = std::fs::read_to_string(path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&body).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(speedup(Some(49), 28), "1.75x");
+        assert!(speedup(None, 28).starts_with('>'));
+    }
+
+    #[test]
+    fn row_display_accepts_numbers() {
+        let mut t = Table::new("", &["x", "y"]);
+        t.row_display(&[1.5, 2.25]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008).
+//!
+//! The paper's Fig. 2 visualizes global-vs-local feature representations
+//! with t-SNE. The embedding sets there are small (a few hundred test
+//! samples), so the exact O(n²) formulation is appropriate — no Barnes-Hut
+//! tree needed. Implements the standard recipe: perplexity calibration by
+//! per-point binary search, symmetrized affinities, early exaggeration, and
+//! momentum gradient descent on a 2-d embedding.
+
+use fedtrip_tensor::rng::Prng;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbourhood size).
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f64,
+    /// Seed for the initial embedding.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 20.0,
+            iterations: 350,
+            learning_rate: 150.0,
+            exaggeration: 12.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Exact t-SNE runner.
+#[derive(Debug, Clone)]
+pub struct Tsne {
+    cfg: TsneConfig,
+}
+
+impl Tsne {
+    /// Create a runner.
+    pub fn new(cfg: TsneConfig) -> Self {
+        Tsne { cfg }
+    }
+
+    /// Embed `n` points of dimension `d` (row-major `data`, length `n*d`)
+    /// into 2-d. Returns `n` (x, y) pairs.
+    ///
+    /// # Panics
+    /// Panics when `data.len()` is not a multiple of `d`, or fewer than 4
+    /// points are supplied.
+    pub fn embed(&self, data: &[f32], d: usize) -> Vec<(f64, f64)> {
+        assert!(d > 0 && data.len() % d == 0, "data length not divisible by d");
+        let n = data.len() / d;
+        assert!(n >= 4, "t-SNE needs at least 4 points");
+
+        let p = joint_affinities(data, n, d, self.cfg.perplexity);
+
+        // init: small gaussian
+        let mut rng = Prng::seed_from_u64(self.cfg.seed);
+        let mut y: Vec<f64> = (0..2 * n).map(|_| rng.normal() as f64 * 1e-2).collect();
+        let mut vel = vec![0.0f64; 2 * n];
+        let mut grad = vec![0.0f64; 2 * n];
+        let exag_until = self.cfg.iterations / 4;
+        // the standard n/exaggeration heuristic keeps small embeddings from
+        // overshooting while still moving large ones
+        let lr = self
+            .cfg
+            .learning_rate
+            .min((n as f64 / self.cfg.exaggeration).max(2.0));
+
+        for iter in 0..self.cfg.iterations {
+            let exag = if iter < exag_until {
+                self.cfg.exaggeration
+            } else {
+                1.0
+            };
+            // student-t affinities in embedding space
+            let mut q_num = vec![0.0f64; n * n];
+            let mut z = 0.0f64;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let dx = y[2 * i] - y[2 * j];
+                    let dy = y[2 * i + 1] - y[2 * j + 1];
+                    let num = 1.0 / (1.0 + dx * dx + dy * dy);
+                    q_num[i * n + j] = num;
+                    q_num[j * n + i] = num;
+                    z += 2.0 * num;
+                }
+            }
+            let z = z.max(1e-12);
+
+            grad.fill(0.0);
+            for i in 0..n {
+                for j in 0..n {
+                    if i == j {
+                        continue;
+                    }
+                    let num = q_num[i * n + j];
+                    let q = (num / z).max(1e-12);
+                    let mult = (exag * p[i * n + j] - q) * num;
+                    let dx = y[2 * i] - y[2 * j];
+                    let dy = y[2 * i + 1] - y[2 * j + 1];
+                    grad[2 * i] += 4.0 * mult * dx;
+                    grad[2 * i + 1] += 4.0 * mult * dy;
+                }
+            }
+
+            let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+            for k in 0..2 * n {
+                vel[k] = momentum * vel[k] - lr * grad[k];
+                y[k] += vel[k];
+            }
+            // recentre to keep coordinates bounded
+            let (mx, my) = (
+                y.iter().step_by(2).sum::<f64>() / n as f64,
+                y.iter().skip(1).step_by(2).sum::<f64>() / n as f64,
+            );
+            for i in 0..n {
+                y[2 * i] -= mx;
+                y[2 * i + 1] -= my;
+            }
+        }
+
+        (0..n).map(|i| (y[2 * i], y[2 * i + 1])).collect()
+    }
+}
+
+/// Symmetrized, normalized input affinities `P` with per-point bandwidth
+/// calibrated to the target perplexity by binary search.
+fn joint_affinities(data: &[f32], n: usize, d: usize, perplexity: f64) -> Vec<f64> {
+    // pairwise squared distances
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = &data[i * d..(i + 1) * d];
+            let b = &data[j * d..(j + 1) * d];
+            let dist: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(&x, &y)| {
+                    let e = (x - y) as f64;
+                    e * e
+                })
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        // binary search beta = 1/(2 sigma^2)
+        let (mut beta, mut beta_lo, mut beta_hi) = (1.0f64, 0.0f64, f64::INFINITY);
+        let row = &d2[i * n..(i + 1) * n];
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0f64;
+            for (j, pr) in probs.iter_mut().enumerate() {
+                *pr = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += *pr;
+            }
+            let sum = sum.max(1e-300);
+            // Shannon entropy of the conditional distribution
+            let mut h = 0.0f64;
+            for pr in probs.iter_mut() {
+                *pr /= sum;
+                if *pr > 1e-12 {
+                    h -= *pr * pr.ln();
+                }
+            }
+            let diff = h - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        for j in 0..n {
+            p[i * n + j] = probs[j];
+        }
+    }
+
+    // symmetrize and normalize
+    let mut joint = vec![0.0f64; n * n];
+    let norm = 1.0 / (2.0 * n as f64);
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = (p[i * n + j] + p[j * n + i]) * norm;
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian clusters in 10-d.
+    fn clustered_data(per_cluster: usize, seed: u64) -> (Vec<f32>, Vec<usize>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..3 {
+            for _ in 0..per_cluster {
+                for k in 0..10 {
+                    let center = if k == c { 8.0 } else { 0.0 };
+                    data.push(center + rng.normal() * 0.3);
+                }
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn affinities_are_symmetric_and_normalized() {
+        let (data, _) = clustered_data(5, 1);
+        let p = joint_affinities(&data, 15, 10, 5.0);
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        for i in 0..15 {
+            for j in 0..15 {
+                assert!((p[i * 15 + j] - p[j * 15 + i]).abs() < 1e-12);
+            }
+            assert_eq!(p[i * 15 + i], 0.0);
+        }
+    }
+
+    #[test]
+    fn separates_well_separated_clusters() {
+        let (data, labels) = clustered_data(8, 2);
+        let emb = Tsne::new(TsneConfig {
+            perplexity: 5.0,
+            iterations: 250,
+            ..TsneConfig::default()
+        })
+        .embed(&data, 10);
+
+        // mean intra-cluster distance must be well below inter-cluster
+        let mut intra = (0.0, 0usize);
+        let mut inter = (0.0, 0usize);
+        for i in 0..emb.len() {
+            for j in (i + 1)..emb.len() {
+                let d = ((emb[i].0 - emb[j].0).powi(2) + (emb[i].1 - emb[j].1).powi(2)).sqrt();
+                if labels[i] == labels[j] {
+                    intra = (intra.0 + d, intra.1 + 1);
+                } else {
+                    inter = (inter.0 + d, inter.1 + 1);
+                }
+            }
+        }
+        let intra = intra.0 / intra.1 as f64;
+        let inter = inter.0 / inter.1 as f64;
+        assert!(
+            inter > 2.0 * intra,
+            "clusters not separated: intra {intra}, inter {inter}"
+        );
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let (data, _) = clustered_data(4, 3);
+        let cfg = TsneConfig {
+            perplexity: 4.0,
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        let a = Tsne::new(cfg).embed(&data, 10);
+        let b = Tsne::new(cfg).embed(&data, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn embedding_is_centred() {
+        let (data, _) = clustered_data(4, 4);
+        let emb = Tsne::new(TsneConfig {
+            perplexity: 4.0,
+            iterations: 40,
+            ..TsneConfig::default()
+        })
+        .embed(&data, 10);
+        let mx: f64 = emb.iter().map(|p| p.0).sum::<f64>() / emb.len() as f64;
+        let my: f64 = emb.iter().map(|p| p.1).sum::<f64>() / emb.len() as f64;
+        assert!(mx.abs() < 1e-6 && my.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 points")]
+    fn rejects_tiny_inputs() {
+        let _ = Tsne::new(TsneConfig::default()).embed(&[0.0; 20], 10);
+    }
+}

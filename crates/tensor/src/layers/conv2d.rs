@@ -1,0 +1,259 @@
+//! 2-d convolution layer (im2col + SGEMM lowering).
+
+use super::Layer;
+use crate::conv::{col2im_accum, im2col, ConvGeom};
+use crate::linalg::{sgemm, sgemm_a_bt, sgemm_at_b_accum};
+use crate::rng::Prng;
+use crate::tensor::Tensor;
+
+/// 2-d convolution over `[batch, C, H, W]` inputs.
+///
+/// Weights are stored as the `[out_c, in_c*k_h*k_w]` filter matrix that the
+/// im2col lowering multiplies directly.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    geom: ConvGeom,
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-uniform initialized convolution.
+    ///
+    /// # Panics
+    /// Panics if the geometry is invalid (kernel larger than padded input).
+    pub fn new(geom: ConvGeom, rng: &mut Prng) -> Self {
+        assert!(geom.is_valid(), "invalid conv geometry: {geom:?}");
+        let fan_in = geom.col_rows();
+        let limit = (6.0f32 / fan_in as f32).sqrt();
+        let weight = Tensor::rand_uniform(&[geom.out_c, fan_in], limit, rng).into_vec();
+        Conv2d {
+            geom,
+            weight,
+            bias: vec![0.0; geom.out_c],
+            grad_weight: vec![0.0; geom.out_c * fan_in],
+            grad_bias: vec![0.0; geom.out_c],
+            cached_input: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geom(&self) -> &ConvGeom {
+        &self.geom
+    }
+
+    fn in_elems(&self) -> usize {
+        self.geom.in_c * self.geom.in_h * self.geom.in_w
+    }
+
+    fn out_elems(&self) -> usize {
+        self.geom.out_c * self.geom.col_cols()
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let g = &self.geom;
+        let batch = input.len() / self.in_elems();
+        debug_assert_eq!(batch * self.in_elems(), input.len(), "conv2d input size");
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut out = Tensor::zeros(&[batch, g.out_c, oh, ow]);
+        let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
+        let n_cols = g.col_cols();
+        for bi in 0..batch {
+            let img = &input.as_slice()[bi * self.in_elems()..(bi + 1) * self.in_elems()];
+            im2col(g, img, &mut col);
+            let dst = &mut out.as_mut_slice()[bi * self.out_elems()..(bi + 1) * self.out_elems()];
+            sgemm(g.out_c, g.col_rows(), n_cols, &self.weight, &col, dst);
+            for oc in 0..g.out_c {
+                let b = self.bias[oc];
+                for v in &mut dst[oc * n_cols..(oc + 1) * n_cols] {
+                    *v += b;
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g = self.geom;
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward called before forward");
+        let batch = input.len() / self.in_elems();
+        let n_cols = g.col_cols();
+        let in_elems = self.in_elems();
+        let out_elems = self.out_elems();
+        debug_assert_eq!(grad_out.len(), batch * out_elems);
+
+        let mut grad_in = Tensor::zeros(&[batch, g.in_c, g.in_h, g.in_w]);
+        let mut col = vec![0.0f32; g.col_rows() * n_cols];
+        let mut col_grad = vec![0.0f32; g.col_rows() * n_cols];
+
+        for bi in 0..batch {
+            let img = &input.as_slice()[bi * in_elems..(bi + 1) * in_elems];
+            let dy = &grad_out.as_slice()[bi * out_elems..(bi + 1) * out_elems];
+
+            // dW += dY * col^T: dY is [out_c, n_cols], col is [col_rows, n_cols]
+            im2col(&g, img, &mut col);
+            let mut dw = vec![0.0f32; g.out_c * g.col_rows()];
+            sgemm_a_bt(g.out_c, n_cols, g.col_rows(), dy, &col, &mut dw);
+            for (acc, v) in self.grad_weight.iter_mut().zip(&dw) {
+                *acc += v;
+            }
+
+            // db += per-channel sums of dY
+            for oc in 0..g.out_c {
+                let mut s = 0.0f32;
+                for &v in &dy[oc * n_cols..(oc + 1) * n_cols] {
+                    s += v;
+                }
+                self.grad_bias[oc] += s;
+            }
+
+            // d(col) = W^T dY: accumulate into image gradient via col2im
+            col_grad.fill(0.0);
+            sgemm_at_b_accum(g.out_c, g.col_rows(), n_cols, &self.weight, dy, &mut col_grad);
+            let gi = &mut grad_in.as_mut_slice()[bi * in_elems..(bi + 1) * in_elems];
+            col2im_accum(&g, &col_grad, gi);
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&[f32]> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn grads(&self) -> Vec<&[f32]> {
+        vec![&self.grad_weight, &self.grad_bias]
+    }
+
+    fn grads_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![&mut self.grad_weight, &mut self.grad_bias]
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut [f32], &[f32])> {
+        vec![
+            (&mut self.weight[..], &self.grad_weight[..]),
+            (&mut self.bias[..], &self.grad_bias[..]),
+        ]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn flops_forward(&self) -> u64 {
+        let g = &self.geom;
+        // GEMM: 2 * out_c * col_rows * col_cols, plus bias adds
+        2 * (g.out_c as u64) * (g.col_rows() as u64) * (g.col_cols() as u64)
+            + (g.out_c * g.col_cols()) as u64
+    }
+
+    fn flops_backward(&self) -> u64 {
+        // dW GEMM + d(col) GEMM, each the same size as the forward GEMM
+        2 * self.flops_forward()
+    }
+
+    fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
+        vec![self.geom.out_c, self.geom.out_h(), self.geom.out_w()]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    fn small_geom() -> ConvGeom {
+        ConvGeom {
+            in_c: 2,
+            in_h: 6,
+            in_w: 6,
+            out_c: 3,
+            k_h: 3,
+            k_w: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = Prng::seed_from_u64(7);
+        let mut conv = Conv2d::new(small_geom(), &mut rng);
+        let x = Tensor::randn(&[2, 2, 6, 6], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 3, 6, 6]);
+    }
+
+    #[test]
+    fn gradcheck_input_and_params() {
+        let mut rng = Prng::seed_from_u64(8);
+        let mut conv = Conv2d::new(small_geom(), &mut rng);
+        let x = Tensor::randn(&[2, 2, 6, 6], 1.0, &mut rng);
+        gradcheck::check_input_gradient(&mut conv, &x, 6e-2);
+        gradcheck::check_param_gradient(&mut conv, &x, 6e-2);
+    }
+
+    #[test]
+    fn stride_two_output_shape() {
+        let g = ConvGeom {
+            in_c: 1,
+            in_h: 8,
+            in_w: 8,
+            out_c: 4,
+            k_h: 3,
+            k_w: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let mut rng = Prng::seed_from_u64(9);
+        let mut conv = Conv2d::new(g, &mut rng);
+        let x = Tensor::randn(&[1, 1, 8, 8], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+        assert_eq!(conv.output_shape(&[1, 8, 8]), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn num_params() {
+        let mut rng = Prng::seed_from_u64(10);
+        let conv = Conv2d::new(small_geom(), &mut rng);
+        assert_eq!(conv.num_params(), 3 * 2 * 3 * 3 + 3);
+    }
+
+    #[test]
+    fn bias_shifts_every_output_plane() {
+        let mut rng = Prng::seed_from_u64(11);
+        let g = small_geom();
+        let mut conv = Conv2d::new(g, &mut rng);
+        let x = Tensor::zeros(&[1, 2, 6, 6]);
+        conv.params_mut()[1].copy_from_slice(&[1.0, 2.0, 3.0]);
+        let y = conv.forward(&x);
+        let n = g.col_cols();
+        for oc in 0..3 {
+            for &v in &y.as_slice()[oc * n..(oc + 1) * n] {
+                assert!((v - (oc as f32 + 1.0)).abs() < 1e-6);
+            }
+        }
+    }
+}

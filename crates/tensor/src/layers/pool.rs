@@ -1,0 +1,194 @@
+//! Max-pooling layer.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// 2-d max pooling over `[batch, C, H, W]` inputs with square window and
+/// stride equal to the window size (the configuration used by all three
+/// paper models).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    channels: usize,
+    in_h: usize,
+    in_w: usize,
+    k: usize,
+    /// argmax flat index (within the input image) per output element
+    cached_argmax: Vec<usize>,
+    cached_batch: usize,
+}
+
+impl MaxPool2d {
+    /// Create a pooling layer for a fixed input geometry.
+    ///
+    /// # Panics
+    /// Panics when the window does not evenly tile the input (the models in
+    /// this workspace are constructed so that it always does).
+    pub fn new(channels: usize, in_h: usize, in_w: usize, k: usize) -> Self {
+        assert!(k > 0 && channels > 0, "MaxPool2d: bad config");
+        assert!(
+            in_h % k == 0 && in_w % k == 0,
+            "MaxPool2d: {in_h}x{in_w} not divisible by window {k}"
+        );
+        MaxPool2d {
+            channels,
+            in_h,
+            in_w,
+            k,
+            cached_argmax: Vec::new(),
+            cached_batch: 0,
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.in_h / self.k
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.in_w / self.k
+    }
+
+    fn in_elems(&self) -> usize {
+        self.channels * self.in_h * self.in_w
+    }
+
+    fn out_elems(&self) -> usize {
+        self.channels * self.out_h() * self.out_w()
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.len() / self.in_elems();
+        debug_assert_eq!(batch * self.in_elems(), input.len());
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut out = Tensor::zeros(&[batch, self.channels, oh, ow]);
+        self.cached_argmax.clear();
+        self.cached_argmax.resize(batch * self.out_elems(), 0);
+        self.cached_batch = batch;
+
+        let src = input.as_slice();
+        let dst = out.as_mut_slice();
+        for bi in 0..batch {
+            for c in 0..self.channels {
+                let plane_off = (bi * self.channels + c) * self.in_h * self.in_w;
+                let out_off = (bi * self.channels + c) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..self.k {
+                            let iy = oy * self.k + dy;
+                            for dx in 0..self.k {
+                                let ix = ox * self.k + dx;
+                                let idx = plane_off + iy * self.in_w + ix;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        dst[out_off + oy * ow + ox] = best;
+                        self.cached_argmax[out_off + oy * ow + ox] = best_idx;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            self.cached_batch > 0,
+            "MaxPool2d::backward called before forward"
+        );
+        let batch = self.cached_batch;
+        debug_assert_eq!(grad_out.len(), batch * self.out_elems());
+        let mut grad_in = Tensor::zeros(&[batch, self.channels, self.in_h, self.in_w]);
+        let gi = grad_in.as_mut_slice();
+        for (go, &src_idx) in grad_out.as_slice().iter().zip(&self.cached_argmax) {
+            gi[src_idx] += go;
+        }
+        grad_in
+    }
+
+    fn flops_forward(&self) -> u64 {
+        // one comparison per window element
+        (self.channels * self.in_h * self.in_w) as u64
+    }
+
+    fn flops_backward(&self) -> u64 {
+        self.out_elems() as u64
+    }
+
+    fn output_shape(&self, _input_shape: &[usize]) -> Vec<usize> {
+        vec![self.channels, self.out_h(), self.out_w()]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_window_max() {
+        let mut p = MaxPool2d::new(1, 4, 4, 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.75,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[4.0, 8.0, -1.0, 0.75]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut p = MaxPool2d::new(1, 2, 2, 2);
+        let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        p.forward(&x);
+        let g = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]).unwrap();
+        let gi = p.backward(&g);
+        assert_eq!(gi.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn multi_channel_batched() {
+        let mut p = MaxPool2d::new(2, 2, 2, 2);
+        let x = Tensor::from_vec(
+            vec![
+                // batch 0, channel 0 and 1
+                1.0, 2.0, 3.0, 4.0, //
+                -1.0, -2.0, -3.0, -4.0, //
+                // batch 1
+                10.0, 0.0, 0.0, 0.0, //
+                0.0, 0.0, 0.0, 20.0,
+            ],
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        let y = p.forward(&x);
+        assert_eq!(y.as_slice(), &[4.0, -1.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_non_tiling_window() {
+        let _ = MaxPool2d::new(1, 5, 5, 2);
+    }
+}

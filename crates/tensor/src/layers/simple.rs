@@ -1,0 +1,174 @@
+//! Parameter-free layers: ReLU and Flatten.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, `y = max(0, x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    /// 1.0 where the input was positive, 0.0 elsewhere.
+    mask: Vec<f32>,
+}
+
+impl Relu {
+    /// Create a ReLU activation.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask.clear();
+        self.mask.reserve(input.len());
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            if *v > 0.0 {
+                self.mask.push(1.0);
+            } else {
+                self.mask.push(0.0);
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "Relu::backward shape drift (forward not called?)"
+        );
+        let mut g = grad_out.clone();
+        for (gv, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+            *gv *= m;
+        }
+        g
+    }
+
+    fn flops_forward(&self) -> u64 {
+        1 // per element; Sequential multiplies by activation size
+    }
+
+    fn flops_backward(&self) -> u64 {
+        1
+    }
+
+    fn is_elementwise(&self) -> bool {
+        true
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Collapse all non-batch dimensions: `[B, C, H, W] -> [B, C*H*W]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Create a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_shape = input.shape().to_vec();
+        let batch = input.shape()[0];
+        let rest = input.len() / batch;
+        input
+            .reshape(&[batch, rest])
+            .expect("flatten reshape cannot fail")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out
+            .reshape(&self.cached_shape)
+            .expect("Flatten::backward called before forward")
+    }
+
+    fn flops_forward(&self) -> u64 {
+        0
+    }
+
+    fn flops_backward(&self) -> u64 {
+        0
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape.iter().product()]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
+        let y = r.forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
+        r.forward(&x);
+        let g = Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap();
+        let gi = r.backward(&g);
+        assert_eq!(gi.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_zero_input_has_zero_gradient() {
+        // subgradient convention: relu'(0) = 0
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
+        r.forward(&x);
+        let gi = r.backward(&Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        assert_eq!(gi.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let back = f.backward(&y);
+        assert_eq!(back.shape(), &[2, 3, 2, 2]);
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn layers_have_no_params() {
+        let r = Relu::new();
+        let f = Flatten::new();
+        assert_eq!(r.num_params(), 0);
+        assert_eq!(f.num_params(), 0);
+    }
+}

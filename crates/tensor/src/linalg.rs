@@ -1,0 +1,274 @@
+//! Dense linear algebra kernels.
+//!
+//! The workhorse is [`sgemm`], a cache-blocked matrix multiply that
+//! parallelizes over row panels with rayon. All dense and convolution layers
+//! (via im2col) reduce to this kernel, so its throughput dominates simulated
+//! training time.
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+use rayon::prelude::*;
+
+/// Row-panel height processed per rayon task. Chosen so a panel of `A` plus
+/// the streaming slice of `B` stay comfortably in L2.
+const PANEL_M: usize = 64;
+/// Inner blocking along `k` to keep the accumulator loop in registers/L1.
+const BLOCK_K: usize = 256;
+/// Below this many multiply-adds the rayon dispatch overhead outweighs the
+/// parallel speedup; run single-threaded instead.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// `C = A * B` for row-major matrices: `A` is `m x k`, `B` is `k x n`,
+/// `C` is `m x n`. `C` is fully overwritten.
+///
+/// # Panics
+/// Debug-asserts slice lengths; in release an incorrect length is a logic
+/// error upstream (the public [`matmul`] wrapper validates shapes).
+pub fn sgemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k, "sgemm: A buffer length");
+    debug_assert_eq!(b.len(), k * n, "sgemm: B buffer length");
+    debug_assert_eq!(c.len(), m * n, "sgemm: C buffer length");
+
+    if m * k * n >= PAR_THRESHOLD && m >= 2 {
+        c.par_chunks_mut(PANEL_M * n)
+            .enumerate()
+            .for_each(|(panel, c_panel)| {
+                let row0 = panel * PANEL_M;
+                let rows = c_panel.len() / n;
+                sgemm_panel(rows, k, n, &a[row0 * k..(row0 + rows) * k], b, c_panel);
+            });
+    } else {
+        sgemm_panel(m, k, n, a, b, c);
+    }
+}
+
+/// Single-threaded blocked kernel over one row panel.
+fn sgemm_panel(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c.fill(0.0);
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = BLOCK_K.min(k - k0);
+        for i in 0..m {
+            let a_row = &a[i * k + k0..i * k + k0 + kb];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(k0 + kk) * n..(k0 + kk + 1) * n];
+                // The compiler auto-vectorizes this saxpy-style inner loop.
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// `C += A^T * B` where `A` is `k x m` (so `A^T` is `m x k`), `B` is `k x n`.
+///
+/// Used by dense-layer weight gradients (`dW = X^T * dY`) without forming the
+/// transpose explicitly.
+pub fn sgemm_at_b_accum(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    // Loop order: for each row `r` of A/B pair, scatter the outer product.
+    // This keeps both reads streaming.
+    for r in 0..k {
+        let a_row = &a[r * m..(r + 1) * m];
+        let b_row = &b[r * n..(r + 1) * n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `C = A * B^T` where `A` is `m x k`, `B` is `n x k`, so `C` is `m x n`.
+///
+/// Used by dense-layer input gradients (`dX = dY * W^T`) — each output row is
+/// a set of dot products against the rows of `B`, which are contiguous.
+pub fn sgemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    };
+    if m * k * n >= PAR_THRESHOLD && m >= 2 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Shape-checked matrix multiply over 2-d tensors.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ash, bsh) = (a.shape(), b.shape());
+    if ash.len() != 2 || bsh.len() != 2 || ash[1] != bsh[0] {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: ash.to_vec(),
+            rhs: bsh.to_vec(),
+        });
+    }
+    let (m, k, n) = (ash[0], ash[1], bsh[1]);
+    let mut c = Tensor::zeros(&[m, n]);
+    sgemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+    Ok(c)
+}
+
+/// Transpose a 2-d tensor.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    let sh = a.shape();
+    if sh.len() != 2 {
+        return Err(TensorError::InvalidShape(format!(
+            "transpose expects 2-d, got {sh:?}"
+        )));
+    }
+    let (m, n) = (sh[0], sh[1]);
+    let src = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = src[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Prng;
+
+    fn naive_matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn sgemm_matches_naive_small() {
+        let (m, k, n) = (3, 4, 5);
+        let a: Vec<f32> = (0..m * k).map(|v| v as f32 * 0.5 - 1.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| (v as f32).sin()).collect();
+        let mut c = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        let expect = naive_matmul(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sgemm_matches_naive_large_parallel_path() {
+        let (m, k, n) = (130, 70, 90);
+        let mut rng = Prng::seed_from_u64(5);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut c = vec![0.0; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        let expect = naive_matmul(m, k, n, &a, &b);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn sgemm_overwrite_semantics() {
+        // C must be fully overwritten, not accumulated into.
+        let (m, k, n) = (2, 2, 2);
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![100.0; 4];
+        sgemm(m, k, n, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn at_b_accum_matches_explicit_transpose() {
+        let (k, m, n) = (6, 3, 4);
+        let mut rng = Prng::seed_from_u64(9);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut c = vec![0.5f32; m * n];
+
+        // reference: transpose A then naive matmul, plus the 0.5 offset
+        let mut at = vec![0.0f32; m * k];
+        for r in 0..k {
+            for i in 0..m {
+                at[i * k + r] = a[r * m + i];
+            }
+        }
+        let mut expect = naive_matmul(m, k, n, &at, &b);
+        for e in &mut expect {
+            *e += 0.5;
+        }
+
+        sgemm_at_b_accum(k, m, n, &a, &b, &mut c);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let (m, k, n) = (4, 5, 3);
+        let mut rng = Prng::seed_from_u64(10);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+        let mut bt = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let expect = naive_matmul(m, k, n, &a, &bt);
+        let mut c = vec![0.0f32; m * n];
+        sgemm_a_bt(m, k, n, &a, &b, &mut c);
+        for (x, y) in c.iter().zip(&expect) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tensor_shapes() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_slice(), a.as_slice());
+        assert!(matmul(&a, &Tensor::zeros(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.shape(), &[4, 3]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        let back = transpose(&t).unwrap();
+        assert_eq!(back, a);
+    }
+}

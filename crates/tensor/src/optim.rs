@@ -1,0 +1,288 @@
+//! Local optimizers.
+//!
+//! The paper (§V-A) trains with SGD-with-momentum (lr 0.01, momentum 0.9)
+//! for FedAvg / FedProx / MOON / FedTrip and plain SGD for SlowMo / FedDyn.
+//! Both are implemented against [`Sequential`]'s flat (param, grad) pairs.
+
+use crate::net::Sequential;
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule applied across communication rounds.
+///
+/// The paper trains with a fixed rate (0.01); the schedules are the
+/// extension its §VI future work invites and are exercised by the
+/// `flrun` CLI and ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// The paper's setting: a fixed learning rate.
+    Constant,
+    /// Multiply the rate by `factor` every `every` rounds.
+    StepDecay {
+        /// Rounds between decays.
+        every: usize,
+        /// Multiplicative factor per decay (in `(0, 1]`).
+        factor: f32,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `total` rounds.
+    Cosine {
+        /// Rounds over which to anneal.
+        total: usize,
+        /// Terminal learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate in effect at a (1-based) round.
+    ///
+    /// # Panics
+    /// Panics on invalid schedule parameters (zero period, factor outside
+    /// `(0, 1]`, zero total).
+    pub fn lr_at(&self, base_lr: f32, round: usize) -> f32 {
+        let r = round.max(1) - 1; // 0-based rounds elapsed
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, factor } => {
+                assert!(every > 0, "StepDecay period must be positive");
+                assert!(
+                    factor > 0.0 && factor <= 1.0,
+                    "StepDecay factor must be in (0,1]"
+                );
+                base_lr * factor.powi((r / every) as i32)
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                assert!(total > 0, "Cosine total must be positive");
+                let t = (r as f32 / total as f32).min(1.0);
+                min_lr
+                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+/// A first-order optimizer stepping a [`Sequential`] in place.
+pub trait Optimizer: Send {
+    /// Apply one update step using the currently accumulated gradients.
+    fn step(&mut self, net: &mut Sequential);
+
+    /// Clear internal state (momentum buffers).
+    fn reset(&mut self);
+
+    /// Learning rate currently in effect.
+    fn learning_rate(&self) -> f32;
+
+    /// Clone into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn Optimizer>;
+}
+
+impl Clone for Box<dyn Optimizer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Plain stochastic gradient descent: `w -= lr * g`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Create plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential) {
+        for (p, g) in net.params_and_grads() {
+            for (pv, gv) in p.iter_mut().zip(g) {
+                *pv -= self.lr * gv;
+            }
+        }
+    }
+
+    fn reset(&mut self) {}
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn clone_box(&self) -> Box<dyn Optimizer> {
+        Box::new(self.clone())
+    }
+}
+
+/// SGD with (PyTorch-convention) momentum:
+/// `v = m * v + g; w -= lr * v`.
+#[derive(Debug, Clone)]
+pub struct SgdMomentum {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl SgdMomentum {
+    /// Create SGD-with-momentum. The paper default is `lr=0.01, m=0.9`.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        SgdMomentum {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for SgdMomentum {
+    fn step(&mut self, net: &mut Sequential) {
+        let pairs = net.params_and_grads();
+        if self.velocity.len() != pairs.len() {
+            self.velocity = pairs.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+        }
+        for ((p, g), v) in pairs.into_iter().zip(&mut self.velocity) {
+            debug_assert_eq!(p.len(), v.len(), "velocity buffer drift");
+            for ((pv, gv), vv) in p.iter_mut().zip(g).zip(v.iter_mut()) {
+                *vv = self.momentum * *vv + gv;
+                *pv -= self.lr * *vv;
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn clone_box(&self) -> Box<dyn Optimizer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::rng::Prng;
+    use crate::tensor::Tensor;
+
+    fn one_layer_net(rng: &mut Prng) -> Sequential {
+        Sequential::new(&[2]).with(Dense::new(2, 2, rng))
+    }
+
+    #[test]
+    fn sgd_step_is_w_minus_lr_g() {
+        let mut rng = Prng::seed_from_u64(1);
+        let mut net = one_layer_net(&mut rng);
+        let w0 = net.params_flat();
+        net.zero_grads();
+        let g = vec![1.0f32; net.num_params()];
+        net.set_grads_flat(&g);
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut net);
+        let w1 = net.params_flat();
+        for (a, b) in w0.iter().zip(&w1) {
+            assert!((a - 0.1 - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_across_steps() {
+        let mut rng = Prng::seed_from_u64(2);
+        let mut net = one_layer_net(&mut rng);
+        let w0 = net.params_flat();
+        let g = vec![1.0f32; net.num_params()];
+        let mut opt = SgdMomentum::new(0.1, 0.9);
+        // step 1: v=1, w -= 0.1
+        net.set_grads_flat(&g);
+        opt.step(&mut net);
+        // step 2: v=1.9, w -= 0.19
+        net.set_grads_flat(&g);
+        opt.step(&mut net);
+        let w2 = net.params_flat();
+        for (a, b) in w0.iter().zip(&w2) {
+            assert!((a - 0.1 - 0.19 - b).abs() < 1e-5, "{a} {b}");
+        }
+    }
+
+    #[test]
+    fn momentum_reset_clears_velocity() {
+        let mut rng = Prng::seed_from_u64(3);
+        let mut net = one_layer_net(&mut rng);
+        let g = vec![1.0f32; net.num_params()];
+        let mut opt = SgdMomentum::new(0.1, 0.9);
+        net.set_grads_flat(&g);
+        opt.step(&mut net);
+        opt.reset();
+        let w1 = net.params_flat();
+        net.set_grads_flat(&g);
+        opt.step(&mut net);
+        let w2 = net.params_flat();
+        // after reset the step is again lr * g exactly
+        for (a, b) in w1.iter().zip(&w2) {
+            assert!((a - 0.1 - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_momentum_equals_plain_sgd() {
+        let mut rng = Prng::seed_from_u64(4);
+        let mut net_a = one_layer_net(&mut rng);
+        let mut net_b = net_a.clone();
+        let g: Vec<f32> = (0..net_a.num_params()).map(|i| i as f32 * 0.01).collect();
+        net_a.set_grads_flat(&g);
+        net_b.set_grads_flat(&g);
+        Sgd::new(0.05).step(&mut net_a);
+        SgdMomentum::new(0.05, 0.0).step(&mut net_b);
+        assert_eq!(net_a.params_flat(), net_b.params_flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn constant_schedule_is_identity() {
+        for r in [1, 10, 1000] {
+            assert_eq!(LrSchedule::Constant.lr_at(0.01, r), 0.01);
+        }
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        assert_eq!(s.lr_at(0.4, 1), 0.4);
+        assert_eq!(s.lr_at(0.4, 10), 0.4);
+        assert_eq!(s.lr_at(0.4, 11), 0.2);
+        assert_eq!(s.lr_at(0.4, 21), 0.1);
+    }
+
+    #[test]
+    fn cosine_hits_endpoints_and_is_monotone() {
+        let s = LrSchedule::Cosine { total: 100, min_lr: 0.001 };
+        assert!((s.lr_at(0.1, 1) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(0.1, 101) - 0.001).abs() < 1e-7);
+        // clamps past the end
+        assert!((s.lr_at(0.1, 500) - 0.001).abs() < 1e-7);
+        let mut prev = f32::INFINITY;
+        for r in 1..=101 {
+            let lr = s.lr_at(0.1, r);
+            assert!(lr <= prev + 1e-9, "cosine not monotone at round {r}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "period")]
+    fn step_decay_rejects_zero_period() {
+        let _ = LrSchedule::StepDecay { every: 0, factor: 0.5 }.lr_at(0.1, 5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the tensor substrate: algebra laws, GEMM
+//! against a naive reference, transpose involution, the im2col/col2im
+//! adjoint identity for random geometries, and flat parameter round-trips.
+
+use fedtrip_tensor::conv::{col2im_accum, im2col, ConvGeom};
+use fedtrip_tensor::layers::{Dense, Relu};
+use fedtrip_tensor::linalg::{matmul, sgemm, transpose};
+use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::{Sequential, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elementwise addition is commutative; subtraction is its inverse.
+    #[test]
+    fn add_commutes_sub_inverts(
+        a in prop::collection::vec(-1e3f32..1e3, 1..64),
+        b_seed in 0u64..500,
+    ) {
+        let n = a.len();
+        let mut rng = Prng::seed_from_u64(b_seed);
+        let b: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let ta = Tensor::from_vec(a.clone(), &[n]).unwrap();
+        let tb = Tensor::from_vec(b, &[n]).unwrap();
+        let ab = ta.add(&tb).unwrap();
+        let ba = tb.add(&ta).unwrap();
+        prop_assert_eq!(ab.as_slice(), ba.as_slice());
+        let back = ab.sub(&tb).unwrap();
+        for (x, y) in back.as_slice().iter().zip(&a) {
+            prop_assert!((x - y).abs() <= 1e-2 * (1.0 + y.abs()));
+        }
+    }
+
+    /// axpy(alpha) then axpy(-alpha) is the identity.
+    #[test]
+    fn axpy_inverts(
+        a in prop::collection::vec(-100.0f32..100.0, 1..64),
+        alpha in -10.0f32..10.0,
+        seed in 0u64..100,
+    ) {
+        let n = a.len();
+        let mut rng = Prng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let tx = Tensor::from_vec(x, &[n]).unwrap();
+        let mut t = Tensor::from_vec(a.clone(), &[n]).unwrap();
+        t.axpy(alpha, &tx).unwrap();
+        t.axpy(-alpha, &tx).unwrap();
+        for (v, orig) in t.as_slice().iter().zip(&a) {
+            prop_assert!((v - orig).abs() <= 1e-2 * (1.0 + orig.abs()));
+        }
+    }
+
+    /// SGEMM against the naive triple loop for random (small) sizes.
+    #[test]
+    fn sgemm_matches_reference(m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut c = vec![0.0f32; m * n];
+        sgemm(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                prop_assert!((c[i * n + j] - acc).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Identity matrix is a left unit of matmul.
+    #[test]
+    fn identity_is_left_unit(n in 1usize..10, cols in 1usize..10, seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let b = Tensor::randn(&[n, cols], 1.0, &mut rng);
+        let mut id = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            *id.at_mut(&[i, i]) = 1.0;
+        }
+        let c = matmul(&id, &b).unwrap();
+        prop_assert_eq!(c.as_slice(), b.as_slice());
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution(m in 1usize..16, n in 1usize..16, seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, n], 1.0, &mut rng);
+        let tt = transpose(&transpose(&a).unwrap()).unwrap();
+        prop_assert_eq!(tt, a);
+    }
+
+    /// <im2col(x), y> == <x, col2im(y)> for random valid conv geometries —
+    /// the adjoint identity the conv backward pass relies on.
+    #[test]
+    fn im2col_adjoint(
+        in_c in 1usize..3,
+        hw in 4usize..9,
+        k in 1usize..4,
+        pad in 0usize..2,
+        stride in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        let g = ConvGeom { in_c, in_h: hw, in_w: hw, out_c: 1, k_h: k, k_w: k, stride, pad };
+        prop_assume!(g.is_valid());
+        let mut rng = Prng::seed_from_u64(seed);
+        let x: Vec<f32> = (0..in_c * hw * hw).map(|_| rng.normal()).collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols()).map(|_| rng.normal()).collect();
+        let mut cx = vec![0.0f32; y.len()];
+        im2col(&g, &x, &mut cx);
+        let lhs: f64 = cx.iter().zip(&y).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let mut aty = vec![0.0f32; x.len()];
+        col2im_accum(&g, &y, &mut aty);
+        let rhs: f64 = x.iter().zip(&aty).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Flat parameter get/set round-trips through a network.
+    #[test]
+    fn params_flat_round_trip(seed in 0u64..200, shift in -2.0f32..2.0) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut net = Sequential::new(&[6])
+            .with(Dense::new(6, 5, &mut rng))
+            .with(Relu::new())
+            .with(Dense::new(5, 3, &mut rng));
+        let mut flat = net.params_flat();
+        for v in &mut flat {
+            *v += shift;
+        }
+        net.set_params_flat(&flat);
+        prop_assert_eq!(net.params_flat(), flat);
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(xs in prop::collection::vec(-10.0f32..10.0, 1..64)) {
+        let n = xs.len();
+        let mut r = Relu::new();
+        use fedtrip_tensor::layers::Layer;
+        let x = Tensor::from_vec(xs, &[n]).unwrap();
+        let once = r.forward(&x);
+        prop_assert!(once.as_slice().iter().all(|&v| v >= 0.0));
+        let twice = r.forward(&once);
+        prop_assert_eq!(once.as_slice(), twice.as_slice());
+    }
+}

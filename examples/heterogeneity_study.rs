@@ -1,0 +1,60 @@
+//! Heterogeneity study: how label skew shapes convergence.
+//!
+//! Sweeps the paper's four heterogeneity regimes (IID control plus Dir-0.5,
+//! Dir-0.1, Orthogonal-5) with FedTrip and FedAvg on the MNIST-like CNN and
+//! prints rounds-to-target and final accuracy — a miniature of §V-C.
+//!
+//! ```bash
+//! cargo run --release --example heterogeneity_study [-- smoke|default]
+//! ```
+
+use fedtrip::prelude::*;
+use fedtrip_core::algorithms::AlgorithmKind;
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| Scale::parse(&s))
+        .unwrap_or(Scale::Smoke);
+    println!("Heterogeneity study — CNN on MNIST-like, FedTrip vs FedAvg ({scale:?} scale)\n");
+
+    let regimes = [
+        HeterogeneityKind::Iid,
+        HeterogeneityKind::Dirichlet(0.5),
+        HeterogeneityKind::Dirichlet(0.1),
+        HeterogeneityKind::Orthogonal(5),
+    ];
+
+    println!(
+        "{:<16} {:<10} {:>10} {:>12} {:>12}",
+        "regime", "method", "skew", "final acc %", "rounds->70%"
+    );
+    for regime in regimes {
+        for alg in [AlgorithmKind::FedTrip, AlgorithmKind::FedAvg] {
+            let spec = ExperimentSpec {
+                heterogeneity: regime,
+                algorithm: alg,
+                ..ExperimentSpec::quickstart()
+            }
+            .with_scale(scale);
+            let mut sim = spec.build();
+            let skew = sim.partition().skew();
+            sim.run();
+            let final_acc = sim.final_accuracy(5);
+            let to70 = sim
+                .rounds_to_accuracy(0.70)
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| format!(">{}", sim.rounds_done()));
+            println!(
+                "{:<16} {:<10} {:>10.3} {:>12.2} {:>12}",
+                regime.name(),
+                alg.name(),
+                skew,
+                final_acc * 100.0,
+                to70
+            );
+        }
+    }
+    println!("\nExpected shape (paper Fig. 5): higher skew => slower convergence,");
+    println!("with FedTrip's advantage growing as skew increases.");
+}

@@ -1,0 +1,194 @@
+//! Cross-crate integration tests: full federated runs through the public
+//! facade API at smoke scale.
+
+use fedtrip::prelude::*;
+use fedtrip_core::algorithms::{AlgorithmKind, HyperParams};
+use fedtrip_core::engine::{Simulation, SimulationConfig};
+use fedtrip_models::ModelKind;
+
+fn smoke_cfg(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        dataset: DatasetKind::MnistLike,
+        model: ModelKind::TinyMlp,
+        heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+        n_clients: 8,
+        clients_per_round: 4,
+        rounds: 10,
+        local_epochs: 1,
+        batch_size: 25,
+        lr: 0.05,
+        momentum: 0.9,
+        seed,
+        test_per_class: 10,
+        client_samples_override: Some(75),
+        eval_every: 1,
+        ..SimulationConfig::default()
+    }
+}
+
+#[test]
+fn every_algorithm_learns_above_chance() {
+    // 10 classes -> chance is 10%; every method must do much better after
+    // 14 smoke rounds. Regularized methods trade early speed for stability,
+    // so the bar is deliberately loose (2.5x chance).
+    for kind in AlgorithmKind::ALL {
+        let mut cfg = smoke_cfg(42);
+        cfg.rounds = 14;
+        let mut sim = Simulation::new(cfg, kind.build(&HyperParams::default()));
+        sim.run();
+        let acc = sim.final_accuracy(3);
+        assert!(
+            acc > 0.25,
+            "{} reached only {:.1}% (chance = 10%)",
+            kind.name(),
+            acc * 100.0
+        );
+    }
+}
+
+#[test]
+fn full_run_is_bit_deterministic() {
+    for kind in [AlgorithmKind::FedTrip, AlgorithmKind::Moon, AlgorithmKind::Scaffold] {
+        let mut a = Simulation::new(smoke_cfg(7), kind.build(&HyperParams::default()));
+        let mut b = Simulation::new(smoke_cfg(7), kind.build(&HyperParams::default()));
+        a.run();
+        b.run();
+        assert_eq!(
+            a.global_params(),
+            b.global_params(),
+            "{} not deterministic",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fedtrip_tracks_participation_gaps() {
+    let mut sim = Simulation::new(
+        smoke_cfg(3),
+        AlgorithmKind::FedTrip.build(&HyperParams::default()),
+    );
+    sim.run();
+    // every participating client must have stored a historical model of the
+    // right size, and its last_round must be its latest selected round
+    let n = sim.global_params().len();
+    let mut last_seen = vec![None; 8];
+    for r in sim.records() {
+        for &c in &r.selected {
+            last_seen[c] = Some(r.round);
+        }
+    }
+    for (c, st) in sim.client_states().iter().enumerate() {
+        assert_eq!(st.last_round, last_seen[c], "client {c} last_round");
+        if last_seen[c].is_some() {
+            assert_eq!(
+                st.historical.as_ref().map(|h| h.len()),
+                Some(n),
+                "client {c} historical size"
+            );
+        }
+    }
+}
+
+#[test]
+fn moon_flops_exceed_fedavg_flops_exceed_zero() {
+    let hp = HyperParams::default();
+    let mut avg = Simulation::new(smoke_cfg(5), AlgorithmKind::FedAvg.build(&hp));
+    let mut moon = Simulation::new(smoke_cfg(5), AlgorithmKind::Moon.build(&hp));
+    let mut trip = Simulation::new(smoke_cfg(5), AlgorithmKind::FedTrip.build(&hp));
+    avg.run();
+    moon.run();
+    trip.run();
+    let f = |s: &Simulation| s.records().last().unwrap().cum_flops;
+    assert!(f(&avg) > 0.0);
+    // FedTrip adds only vector ops: a little above FedAvg
+    assert!(f(&trip) > f(&avg));
+    assert!(f(&trip) < f(&avg) * 1.5, "FedTrip overhead should be small");
+    // MOON adds 2 forward passes per sample: far above FedTrip's overhead
+    assert!(f(&moon) > f(&trip));
+    let moon_overhead = f(&moon) - f(&avg);
+    let trip_overhead = f(&trip) - f(&avg);
+    assert!(
+        moon_overhead > 5.0 * trip_overhead,
+        "MOON overhead {moon_overhead} should dwarf FedTrip overhead {trip_overhead}"
+    );
+}
+
+#[test]
+fn communication_accounting_matches_cost_model() {
+    let hp = HyperParams::default();
+    for (kind, extra_factor) in [
+        (AlgorithmKind::FedAvg, 1.0f64),
+        (AlgorithmKind::FedTrip, 1.0),
+        (AlgorithmKind::Scaffold, 2.0),
+        (AlgorithmKind::MimeLite, 2.0),
+    ] {
+        let mut sim = Simulation::new(smoke_cfg(9), kind.build(&hp));
+        sim.run();
+        let w_bytes = sim.global_params().len() * 4;
+        let expect = (10 * 4) as f64 * 2.0 * w_bytes as f64 * extra_factor;
+        let got = sim.records().last().unwrap().cum_comm_bytes;
+        assert!(
+            (got - expect).abs() < 1.0,
+            "{}: comm {got} != expected {expect}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn experiment_spec_facade_round_trip() {
+    let spec = ExperimentSpec::quickstart()
+        .with_scale(Scale::Smoke)
+        .with_algorithm(AlgorithmKind::FedProx)
+        .with_seed(11);
+    let records = spec.run();
+    assert!(!records.is_empty());
+    assert!(records.iter().all(|r| r.mean_loss.is_finite()));
+    // comm and flops are monotone non-decreasing
+    for w in records.windows(2) {
+        assert!(w[1].cum_comm_bytes >= w[0].cum_comm_bytes);
+        assert!(w[1].cum_flops >= w[0].cum_flops);
+    }
+}
+
+#[test]
+fn heterogeneity_hurts_early_convergence() {
+    // IID should reach a higher accuracy than Orthogonal-10 at the same
+    // early round — the basic premise of the paper's Fig. 1.
+    let hp = HyperParams::default();
+    let mut cfg_iid = smoke_cfg(21);
+    cfg_iid.heterogeneity = HeterogeneityKind::Iid;
+    let mut cfg_orth = smoke_cfg(21);
+    cfg_orth.heterogeneity = HeterogeneityKind::Orthogonal(8);
+
+    let mut iid = Simulation::new(cfg_iid, AlgorithmKind::FedAvg.build(&hp));
+    let mut orth = Simulation::new(cfg_orth, AlgorithmKind::FedAvg.build(&hp));
+    iid.run();
+    orth.run();
+    let a_iid = iid.final_accuracy(3);
+    let a_orth = orth.final_accuracy(3);
+    assert!(
+        a_iid > a_orth,
+        "IID ({a_iid:.3}) should beat Orthogonal-8 ({a_orth:.3}) early"
+    );
+}
+
+#[test]
+fn local_epochs_speed_up_early_rounds() {
+    let hp = HyperParams::default();
+    let mut cfg1 = smoke_cfg(13);
+    cfg1.rounds = 5;
+    let mut cfg5 = cfg1;
+    cfg5.local_epochs = 5;
+    let mut e1 = Simulation::new(cfg1, AlgorithmKind::FedTrip.build(&hp));
+    let mut e5 = Simulation::new(cfg5, AlgorithmKind::FedTrip.build(&hp));
+    e1.run();
+    e5.run();
+    assert!(
+        e5.final_accuracy(2) >= e1.final_accuracy(2),
+        "5 local epochs ({:.3}) should not lose to 1 ({:.3}) at round 5",
+        e5.final_accuracy(2),
+        e1.final_accuracy(2)
+    );
+}

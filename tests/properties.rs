@@ -1,0 +1,144 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use fedtrip_core::algorithms::{weighted_param_average, LocalOutcome};
+use fedtrip_data::partition::{HeterogeneityKind, Partition};
+use fedtrip_data::synth::DatasetKind;
+use fedtrip_metrics::stats::{ema, quantile, BoxplotSummary};
+use fedtrip_tensor::vecops;
+use proptest::prelude::*;
+
+fn outcome(params: Vec<f32>, n: usize) -> LocalOutcome {
+    LocalOutcome {
+        params,
+        n_samples: n,
+        mean_loss: 0.0,
+        iterations: 1,
+        train_flops: 0.0,
+        aux: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aggregation stays inside the convex hull of the client parameters.
+    #[test]
+    fn aggregation_is_in_convex_hull(
+        params in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 4), 1..6),
+        weights in prop::collection::vec(1usize..500, 1..6),
+    ) {
+        let k = params.len().min(weights.len());
+        let outcomes: Vec<LocalOutcome> = params[..k]
+            .iter()
+            .zip(&weights[..k])
+            .map(|(p, &w)| outcome(p.clone(), w))
+            .collect();
+        let avg = weighted_param_average(&outcomes);
+        for dim in 0..4 {
+            let lo = outcomes.iter().map(|o| o.params[dim]).fold(f32::INFINITY, f32::min);
+            let hi = outcomes.iter().map(|o| o.params[dim]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(avg[dim] >= lo - 1e-4 && avg[dim] <= hi + 1e-4,
+                "dim {dim}: {} outside [{lo}, {hi}]", avg[dim]);
+        }
+    }
+
+    /// Equal-weight aggregation of identical models is the identity.
+    #[test]
+    fn aggregation_identity(p in prop::collection::vec(-5.0f32..5.0, 1..64), k in 1usize..5) {
+        let outcomes: Vec<LocalOutcome> = (0..k).map(|_| outcome(p.clone(), 10)).collect();
+        let avg = weighted_param_average(&outcomes);
+        for (a, b) in avg.iter().zip(&p) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// The fused triplet kernel agrees with the naive formulation for all
+    /// inputs, and reduces to the proximal kernel at xi = 0.
+    #[test]
+    fn triplet_kernel_properties(
+        w in prop::collection::vec(-3.0f32..3.0, 8),
+        glob in prop::collection::vec(-3.0f32..3.0, 8),
+        hist in prop::collection::vec(-3.0f32..3.0, 8),
+        mu in 0.0f32..3.0,
+        xi in 0.0f32..5.0,
+    ) {
+        let mut fused = vec![0.0f32; 8];
+        let mut naive = vec![0.0f32; 8];
+        vecops::triplet_adjust(&mut fused, mu, xi, &w, &glob, &hist);
+        vecops::triplet_adjust_naive(&mut naive, mu, xi, &w, &glob, &hist);
+        for (a, b) in fused.iter().zip(&naive) {
+            prop_assert!((a - b).abs() < 1e-4, "fused {a} vs naive {b}");
+        }
+        let mut prox = vec![0.0f32; 8];
+        vecops::prox_adjust(&mut prox, mu, &w, &glob);
+        let mut trip0 = vec![0.0f32; 8];
+        vecops::triplet_adjust(&mut trip0, mu, 0.0, &w, &glob, &hist);
+        prop_assert_eq!(prox, trip0);
+    }
+
+    /// Partitions are exact partitions: right sizes, disjoint samples,
+    /// ids within pools — for arbitrary client counts and alphas.
+    #[test]
+    fn partition_invariants(
+        n_clients in 2usize..12,
+        alpha in 0.05f64..5.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = DatasetKind::MnistLike.spec();
+        let p = Partition::build(&spec, HeterogeneityKind::Dirichlet(alpha), n_clients, seed);
+        prop_assert_eq!(p.n_clients(), n_clients);
+        let mut seen = std::collections::HashSet::new();
+        for refs in &p.clients {
+            prop_assert_eq!(refs.len(), spec.client_samples);
+            for r in refs {
+                prop_assert!((r.id as usize) < spec.pool_per_class());
+                prop_assert!((r.class as usize) < spec.classes);
+                prop_assert!(seen.insert((r.class, r.id)), "duplicate {:?}", r);
+            }
+        }
+    }
+
+    /// Smaller Dirichlet alpha never reduces expected skew (checked on
+    /// averages over a few seeds to tame sampling noise).
+    #[test]
+    fn dirichlet_alpha_orders_skew(seed in 0u64..200) {
+        let spec = DatasetKind::MnistLike.spec();
+        let skew = |alpha: f64| -> f64 {
+            (0..3)
+                .map(|i| {
+                    Partition::build(
+                        &spec,
+                        HeterogeneityKind::Dirichlet(alpha),
+                        8,
+                        seed.wrapping_add(i * 7919),
+                    )
+                    .skew()
+                })
+                .sum::<f64>()
+                / 3.0
+        };
+        prop_assert!(skew(0.1) > skew(5.0) - 0.05);
+    }
+
+    /// EMA output is bounded by the input range and starts at the first value.
+    #[test]
+    fn ema_bounded(xs in prop::collection::vec(-100.0f64..100.0, 1..50), alpha in 0.01f64..1.0) {
+        let y = ema(&xs, alpha);
+        prop_assert_eq!(y.len(), xs.len());
+        prop_assert_eq!(y[0], xs[0]);
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for v in y {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    /// Boxplot quartiles are ordered and bounded by the sample extremes.
+    #[test]
+    fn boxplot_ordered(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let b = BoxplotSummary::of(&xs);
+        prop_assert!(b.min <= b.q1 && b.q1 <= b.median && b.median <= b.q3 && b.q3 <= b.max);
+        prop_assert!(b.iqr() >= 0.0);
+        prop_assert_eq!(b.median, quantile(&xs, 0.5));
+    }
+}
