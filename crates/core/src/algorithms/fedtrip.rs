@@ -81,7 +81,8 @@ impl FedTrip {
     /// Create FedTrip.
     ///
     /// # Panics
-    /// Panics on negative `mu` or non-positive fixed `xi`.
+    /// Panics on negative (or NaN) `mu` or fixed `xi`. A fixed `xi` of zero
+    /// is allowed: it degenerates to FedProx and is a useful ablation point.
     pub fn new(cfg: FedTripConfig) -> Self {
         assert!(cfg.mu >= 0.0, "FedTrip mu must be non-negative");
         if let XiMode::Fixed(x) = cfg.xi_mode {
@@ -96,10 +97,17 @@ impl FedTrip {
     }
 
     /// Resolve `xi` for a client given its participation gap.
+    ///
+    /// `gap` is `None` on a client's first participation (no history yet —
+    /// the history term is dropped entirely in [`Self::local_train`], so the
+    /// resolved `xi` is irrelevant that round for `Gap`/`RawGap`). The engine
+    /// computes `gap = t - last_round >= 1`; both gap modes clamp with
+    /// `max(1)` so a malformed gap of 0 can never zero out (`RawGap`) or
+    /// blow up (`Gap`) the regularizer.
     fn xi(&self, gap: Option<usize>) -> f32 {
         match self.cfg.xi_mode {
             XiMode::Gap => gap.map(|g| 1.0 / g.max(1) as f32).unwrap_or(0.0),
-            XiMode::RawGap => gap.map(|g| g as f32).unwrap_or(0.0),
+            XiMode::RawGap => gap.map(|g| g.max(1) as f32).unwrap_or(0.0),
             XiMode::Fixed(x) => x,
         }
     }
@@ -237,6 +245,73 @@ mod tests {
         });
         assert_eq!(fixed.xi(Some(7)), 2.5);
         assert_eq!(fixed.xi(None), 2.5);
+    }
+
+    /// Golden values for the adjusted gradient of Algorithm 1, line 7:
+    /// `h = ∇F(w) + mu ((w - w_global) + xi (w_hist - w))`, hand-computed at
+    /// a point where every term is a dyadic rational, so f32 arithmetic is
+    /// exact and the assertions can demand bit equality.
+    #[test]
+    fn adjusted_gradient_golden_values() {
+        let g0 = vec![0.5f32, -1.0, 2.0];
+        let w = [1.0f32, 2.0, -1.0];
+        let global = [0.5f32, 1.0, 0.0];
+        let hist = [2.0f32, 0.0, -2.0];
+        let (mu, xi) = (0.5f32, 0.25f32);
+        // Per coordinate: h_i = g_i + mu*((w_i - global_i) + xi*(hist_i - w_i))
+        //   i=0: 0.5  + 0.5*((1.0 - 0.5)  + 0.25*( 2.0 - 1.0))  = 0.875
+        //   i=1: -1.0 + 0.5*((2.0 - 1.0)  + 0.25*( 0.0 - 2.0))  = -0.75
+        //   i=2: 2.0  + 0.5*((-1.0 - 0.0) + 0.25*(-2.0 + 1.0))  = 1.375
+        let golden = [0.875f32, -0.75, 1.375];
+
+        let mut g = g0.clone();
+        vecops::triplet_adjust(&mut g, mu, xi, &w, &global, &hist);
+        assert_eq!(g, golden);
+
+        // The unfused reference formulation must agree exactly.
+        let mut g_naive = g0.clone();
+        vecops::triplet_adjust_naive(&mut g_naive, mu, xi, &w, &global, &hist);
+        assert_eq!(g_naive, golden);
+
+        // xi = 0.25 is what Gap mode resolves for a participation gap of 4,
+        // and what Fixed(0.25) always resolves — all three routes meet at
+        // the same golden point.
+        assert_eq!(trip(mu).xi(Some(4)), xi);
+        let fixed = FedTrip::new(FedTripConfig {
+            mu,
+            xi_mode: XiMode::Fixed(0.25),
+        });
+        assert_eq!(fixed.xi(Some(999)), xi);
+
+        // RawGap golden point at gap = 2 (xi = 2.0):
+        //   i=0: 0.5  + 0.5*(0.5  + 2.0*1.0)  = 1.75
+        //   i=1: -1.0 + 0.5*(1.0  + 2.0*(-2.0)) = -2.5
+        //   i=2: 2.0  + 0.5*(-1.0 + 2.0*(-1.0)) = 0.5
+        let raw = FedTrip::new(FedTripConfig {
+            mu,
+            xi_mode: XiMode::RawGap,
+        });
+        let xi_raw = raw.xi(Some(2));
+        assert_eq!(xi_raw, 2.0);
+        let mut g_raw = g0;
+        vecops::triplet_adjust(&mut g_raw, mu, xi_raw, &w, &global, &hist);
+        assert_eq!(g_raw, [1.75f32, -2.5, 0.5]);
+    }
+
+    #[test]
+    fn raw_gap_clamps_malformed_zero_gap() {
+        let raw = FedTrip::new(FedTripConfig {
+            mu: 0.4,
+            xi_mode: XiMode::RawGap,
+        });
+        // gap 0 cannot come out of the engine, but if it ever did, the
+        // history term must not silently vanish
+        assert_eq!(raw.xi(Some(0)), 1.0);
+        let gap = FedTrip::new(FedTripConfig {
+            mu: 0.4,
+            xi_mode: XiMode::Gap,
+        });
+        assert_eq!(gap.xi(Some(0)), 1.0);
     }
 
     #[test]

@@ -173,6 +173,11 @@ pub fn weighted_param_average(outcomes: &[LocalOutcome]) -> Vec<f32> {
     vecops::weighted_average(&inputs, &weights)
 }
 
+/// Flat-space gradient-adjustment hook `(grads, current_params)` applied
+/// between backward and optimizer step — where the attaching operations of
+/// FedProx / FedTrip / FedDyn / SCAFFOLD plug into [`run_local_sgd`].
+pub type GradHook<'h> = &'h mut dyn FnMut(&mut Vec<f32>, &[f32]);
+
 /// The shared local-SGD loop: `epochs` passes over the client's shuffled
 /// data, one optimizer step per mini-batch, with an optional flat-space
 /// gradient hook `(grads, current_params)` applied between backward and
@@ -184,7 +189,7 @@ pub fn run_local_sgd(
     data: &ClientData<'_>,
     ctx: &LocalContext<'_>,
     opt: &mut dyn Optimizer,
-    mut grad_hook: Option<&mut dyn FnMut(&mut Vec<f32>, &[f32])>,
+    mut grad_hook: Option<GradHook<'_>>,
 ) -> (usize, usize, f64) {
     let mut iterations = 0usize;
     let mut samples = 0usize;

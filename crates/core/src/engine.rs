@@ -165,7 +165,7 @@ impl Simulation {
             &spec,
             cfg.heterogeneity,
             cfg.n_clients,
-            cfg.seed ^ 0x9A27_17,
+            cfg.seed ^ 0x009A_2717,
         );
         let template = cfg.model.build(&spec.sample_shape(), spec.classes, cfg.seed);
         let global = template.params_flat();
@@ -280,7 +280,7 @@ impl Simulation {
     /// Pick this round's participants according to the selection strategy.
     fn select_clients(&self, t: usize) -> Vec<usize> {
         let (n, k) = (self.cfg.n_clients, self.cfg.clients_per_round);
-        let mut sel_rng = Prng::derive(self.cfg.seed, &[0x5E1E_C7 /* "SELECT" */, t as u64]);
+        let mut sel_rng = Prng::derive(self.cfg.seed, &[0x005E_1EC7 /* "SELECT" */, t as u64]);
         let mut selected = match self.cfg.selection {
             SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
             SelectionStrategy::RoundRobin => {
@@ -401,7 +401,7 @@ impl Simulation {
 
         self.algorithm.server_update(&mut self.global, &outcomes, t);
 
-        let accuracy = if t % self.cfg.eval_every == 0 {
+        let accuracy = if t.is_multiple_of(self.cfg.eval_every) {
             Some(self.evaluate())
         } else {
             None

@@ -1,0 +1,59 @@
+//! Determinism smoke test: the engine promises that results depend only on
+//! the seed — never on rayon's scheduling of the parallel client loop (each
+//! client derives its own RNG stream from `(seed, round, client)`).
+//!
+//! `RoundRecord` intentionally has no `PartialEq`, so the comparison goes
+//! through the serialized JSON form: floats are printed as their shortest
+//! round-trippable representation, so equal strings imply bit-identical
+//! records.
+
+use fedtrip_core::algorithms::{AlgorithmKind, HyperParams};
+use fedtrip_core::engine::{Simulation, SimulationConfig};
+use fedtrip_data::partition::HeterogeneityKind;
+use fedtrip_data::synth::DatasetKind;
+use fedtrip_models::ModelKind;
+
+fn cfg(seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        dataset: DatasetKind::MnistLike,
+        model: ModelKind::TinyMlp,
+        heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+        n_clients: 8,
+        clients_per_round: 4,
+        rounds: 3,
+        local_epochs: 1,
+        batch_size: 25,
+        lr: 0.05,
+        momentum: 0.9,
+        seed,
+        test_per_class: 5,
+        client_samples_override: Some(50),
+        eval_every: 1,
+        ..SimulationConfig::default()
+    }
+}
+
+fn run_records(kind: AlgorithmKind, seed: u64) -> String {
+    let mut sim = Simulation::new(cfg(seed), kind.build(&HyperParams::default()));
+    let records = sim.run();
+    serde_json::to_string(&records.to_vec()).expect("serialize records")
+}
+
+#[test]
+fn same_seed_bit_identical_records_despite_parallelism() {
+    for kind in [AlgorithmKind::FedTrip, AlgorithmKind::FedAvg] {
+        let a = run_records(kind, 77);
+        let b = run_records(kind, 77);
+        assert_eq!(
+            a, b,
+            "two {kind:?} runs with the same seed must produce bit-identical RoundRecords"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_records(AlgorithmKind::FedTrip, 77);
+    let b = run_records(AlgorithmKind::FedTrip, 78);
+    assert_ne!(a, b, "distinct seeds should not collide");
+}

@@ -350,11 +350,8 @@ mod tests {
                 if i % 5 == j % 5 {
                     continue;
                 }
-                for c in 0..10 {
-                    assert!(
-                        !(hists[i][c] > 0 && hists[j][c] > 0),
-                        "clients {i},{j} share class {c}"
-                    );
+                for (c, (&a, &b)) in hists[i].iter().zip(&hists[j]).enumerate() {
+                    assert!(!(a > 0 && b > 0), "clients {i},{j} share class {c}");
                 }
             }
         }

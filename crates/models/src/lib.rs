@@ -266,7 +266,9 @@ mod tests {
         let s = ModelStats::of(&net);
         // paper Table III: 0.3 MB, 0.08 MFLOPs (MAC counting)
         assert_eq!(s.params, 784 * 100 + 100 + 100 * 10 + 10);
-        assert!((s.comm_mb() - 0.318).abs() < 0.01, "comm {}", s.comm_mb());
+        // 4 bytes per f32 parameter; 79510 params ~= 0.318 MB
+        let expected_mb = s.params as f64 * 4.0 / 1.0e6;
+        assert!((s.comm_mb() - expected_mb).abs() < 0.01, "comm {}", s.comm_mb());
         assert!(s.mflops_forward() > 0.1 && s.mflops_forward() < 0.2);
     }
 

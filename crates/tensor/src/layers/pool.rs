@@ -26,7 +26,7 @@ impl MaxPool2d {
     pub fn new(channels: usize, in_h: usize, in_w: usize, k: usize) -> Self {
         assert!(k > 0 && channels > 0, "MaxPool2d: bad config");
         assert!(
-            in_h % k == 0 && in_w % k == 0,
+            in_h.is_multiple_of(k) && in_w.is_multiple_of(k),
             "MaxPool2d: {in_h}x{in_w} not divisible by window {k}"
         );
         MaxPool2d {

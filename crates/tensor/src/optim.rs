@@ -170,7 +170,6 @@ mod tests {
     use super::*;
     use crate::layers::Dense;
     use crate::rng::Prng;
-    use crate::tensor::Tensor;
 
     fn one_layer_net(rng: &mut Prng) -> Sequential {
         Sequential::new(&[2]).with(Dense::new(2, 2, rng))

@@ -1,0 +1,309 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the bench-definition surface the workspace's `benches/*.rs`
+//! files use — `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `sample_size` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId` — backed by a simple
+//! median-of-samples wall-clock harness instead of criterion's full
+//! statistical machinery. Reports `ns/iter` per benchmark to stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches importing `criterion::black_box` work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.sample_size, self.measurement_time, &mut f);
+        println!("  {name}: {report}");
+        self
+    }
+
+    /// Mirror of `Criterion::sample_size` for config-style use.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Mirror of `Criterion::measurement_time` for config-style use.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let report = run_bench(self.sample_size, self.measurement_time, &mut f);
+        println!("  {}/{}: {report}", self.name, id);
+        self
+    }
+
+    pub fn bench_with_input<N, I, F>(&mut self, id: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: Into<BenchmarkId>,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let report = run_bench(self.sample_size, self.measurement_time, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        println!("  {}/{}: {report}", self.name, id);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, storing per-iteration samples for the report.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that takes long
+        // enough to time reliably.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(100) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        self.iters_per_sample = iters;
+
+        let budget_per_sample = self.measurement_time / self.sample_size.max(1) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed());
+            if start.elapsed() > budget_per_sample.saturating_mul(4) {
+                break; // this workload blows the budget; stop early
+            }
+        }
+    }
+}
+
+struct Report {
+    median_ns: f64,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.median_ns >= 1e9 {
+            write!(f, "{:.3} s/iter", self.median_ns / 1e9)
+        } else if self.median_ns >= 1e6 {
+            write!(f, "{:.3} ms/iter", self.median_ns / 1e6)
+        } else if self.median_ns >= 1e3 {
+            write!(f, "{:.3} us/iter", self.median_ns / 1e3)
+        } else {
+            write!(f, "{:.1} ns/iter", self.median_ns)
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut F,
+) -> Report {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        measurement_time,
+        sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        return Report { median_ns: 0.0 };
+    }
+    let mut ns: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / bencher.iters_per_sample as f64)
+        .collect();
+    ns.sort_by(|a, b| a.total_cmp(b));
+    Report {
+        median_ns: ns[ns.len() / 2],
+    }
+}
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point for `harness = false` bench targets.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, quick);
+
+    #[test]
+    fn group_runs_to_completion() {
+        smoke();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("gemm", 128).to_string(), "gemm/128");
+    }
+}

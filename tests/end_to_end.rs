@@ -72,7 +72,7 @@ fn fedtrip_tracks_participation_gaps() {
     // every participating client must have stored a historical model of the
     // right size, and its last_round must be its latest selected round
     let n = sim.global_params().len();
-    let mut last_seen = vec![None; 8];
+    let mut last_seen = [None; 8];
     for r in sim.records() {
         for &c in &r.selected {
             last_seen[c] = Some(r.round);

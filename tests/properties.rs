@@ -34,11 +34,11 @@ proptest! {
             .map(|(p, &w)| outcome(p.clone(), w))
             .collect();
         let avg = weighted_param_average(&outcomes);
-        for dim in 0..4 {
+        for (dim, &av) in avg.iter().enumerate().take(4) {
             let lo = outcomes.iter().map(|o| o.params[dim]).fold(f32::INFINITY, f32::min);
             let hi = outcomes.iter().map(|o| o.params[dim]).fold(f32::NEG_INFINITY, f32::max);
-            prop_assert!(avg[dim] >= lo - 1e-4 && avg[dim] <= hi + 1e-4,
-                "dim {dim}: {} outside [{lo}, {hi}]", avg[dim]);
+            prop_assert!(av >= lo - 1e-4 && av <= hi + 1e-4,
+                "dim {dim}: {av} outside [{lo}, {hi}]");
         }
     }
 
