@@ -13,10 +13,12 @@
 
 use fedtrip_core::algorithms::AlgorithmKind;
 use fedtrip_core::checkpoint::Checkpoint;
+use fedtrip_core::engine::{RunMode, SelectionStrategy, Simulation};
 use fedtrip_core::experiment::{ExperimentSpec, Scale};
 use fedtrip_data::partition::HeterogeneityKind;
 use fedtrip_data::synth::DatasetKind;
 use fedtrip_models::ModelKind;
+use fedtrip_tensor::optim::LrSchedule;
 use std::path::PathBuf;
 
 fn die(msg: &str) -> ! {
@@ -25,10 +27,57 @@ fn die(msg: &str) -> ! {
         "usage: flrun [--alg NAME] [--dataset mnist|fmnist|emnist|cifar] \
          [--model mlp|cnn|alexnet|cifarcnn] [--het iid|dirA|orthK] \
          [--clients N] [--per-round K] [--rounds T] [--epochs E] [--mu X] \
-         [--seed S] [--scale smoke|default|paper] [--checkpoint FILE] \
-         [--resume FILE]"
+         [--seed S] [--scale smoke|default|paper] \
+         [--selection uniform|roundrobin|weighted] [--failure-prob P] \
+         [--lr-schedule const|step:E:F|cosine:T:M] [--mode sync|semiasync] \
+         [--device-het S] [--buffer B] [--checkpoint FILE] [--resume FILE]"
     );
     std::process::exit(2);
+}
+
+/// Parse `const` / `step:EVERY:FACTOR` / `cosine:TOTAL:MIN_LR`.
+fn parse_lr_schedule(s: &str) -> Option<LrSchedule> {
+    let l = s.to_ascii_lowercase();
+    if l == "const" || l == "constant" {
+        return Some(LrSchedule::Constant);
+    }
+    let mut parts = l.split(':');
+    match parts.next()? {
+        "step" => {
+            let every = parts.next()?.parse().ok()?;
+            let factor = parts.next()?.parse().ok()?;
+            Some(LrSchedule::StepDecay { every, factor })
+        }
+        "cosine" => {
+            let total = parts.next()?.parse().ok()?;
+            let min_lr = parts.next()?.parse().ok()?;
+            Some(LrSchedule::Cosine { total, min_lr })
+        }
+        _ => None,
+    }
+}
+
+/// Engine knobs that sit on `SimulationConfig` but not on `ExperimentSpec`;
+/// applied after `to_config()`.
+#[derive(Default)]
+struct ConfigOverrides {
+    selection: Option<SelectionStrategy>,
+    failure_prob: Option<f32>,
+    lr_schedule: Option<LrSchedule>,
+    mode: Option<RunMode>,
+    device_het: Option<f32>,
+    async_buffer: Option<usize>,
+}
+
+impl ConfigOverrides {
+    fn any(&self) -> bool {
+        self.selection.is_some()
+            || self.failure_prob.is_some()
+            || self.lr_schedule.is_some()
+            || self.mode.is_some()
+            || self.device_het.is_some()
+            || self.async_buffer.is_some()
+    }
 }
 
 fn parse_het(s: &str) -> Option<HeterogeneityKind> {
@@ -70,6 +119,7 @@ fn parse_model(s: &str) -> Option<ModelKind> {
 fn main() {
     let mut spec = ExperimentSpec::quickstart().with_scale(Scale::Default);
     spec.rounds = 30;
+    let mut overrides = ConfigOverrides::default();
     let mut checkpoint: Option<PathBuf> = None;
     let mut resume: Option<PathBuf> = None;
     let mut extra_rounds: Option<usize> = None;
@@ -109,6 +159,35 @@ fn main() {
             "--mu" => spec.hyper.fedtrip_mu = val().parse().unwrap_or_else(|_| die("bad --mu")),
             "--seed" => spec.seed = val().parse().unwrap_or_else(|_| die("bad --seed")),
             "--scale" => spec.scale = Scale::parse(val()).unwrap_or_else(|| die("bad --scale")),
+            "--selection" => {
+                overrides.selection =
+                    Some(SelectionStrategy::parse(val()).unwrap_or_else(|| die("bad --selection")))
+            }
+            "--failure-prob" => {
+                let p: f32 = val().parse().unwrap_or_else(|_| die("bad --failure-prob"));
+                if !(0.0..=1.0).contains(&p) {
+                    die("--failure-prob must be in [0, 1]");
+                }
+                overrides.failure_prob = Some(p);
+            }
+            "--lr-schedule" => {
+                overrides.lr_schedule =
+                    Some(parse_lr_schedule(val()).unwrap_or_else(|| die("bad --lr-schedule")))
+            }
+            "--mode" => {
+                overrides.mode = Some(RunMode::parse(val()).unwrap_or_else(|| die("bad --mode")))
+            }
+            "--device-het" => {
+                let s: f32 = val().parse().unwrap_or_else(|_| die("bad --device-het"));
+                if s < 1.0 {
+                    die("--device-het must be >= 1");
+                }
+                overrides.device_het = Some(s);
+            }
+            "--buffer" => {
+                overrides.async_buffer =
+                    Some(val().parse().unwrap_or_else(|_| die("bad --buffer")))
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(val())),
             "--resume" => resume = Some(PathBuf::from(val())),
             other => die(&format!("unknown flag {other}")),
@@ -118,6 +197,9 @@ fn main() {
 
     let mut sim = match &resume {
         Some(path) => {
+            if overrides.any() {
+                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer) cannot be combined with --resume; the checkpoint pins them");
+            }
             let ckpt = Checkpoint::load(path).unwrap_or_else(|e| die(&format!("resume: {e}")));
             println!(
                 "resuming {} on {} from round {}",
@@ -134,8 +216,27 @@ fn main() {
             sim
         }
         None => {
+            let mut cfg = spec.to_config();
+            if let Some(s) = overrides.selection {
+                cfg.selection = s;
+            }
+            if let Some(p) = overrides.failure_prob {
+                cfg.failure_prob = p;
+            }
+            if let Some(ls) = overrides.lr_schedule {
+                cfg.lr_schedule = ls;
+            }
+            if let Some(m) = overrides.mode {
+                cfg.mode = m;
+            }
+            if let Some(d) = overrides.device_het {
+                cfg.device_het = d;
+            }
+            if let Some(b) = overrides.async_buffer {
+                cfg.async_buffer = b;
+            }
             println!(
-                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?}",
+                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x",
                 spec.algorithm.name(),
                 spec.model.name(),
                 spec.dataset.name(),
@@ -143,30 +244,35 @@ fn main() {
                 spec.clients_per_round,
                 spec.n_clients,
                 spec.rounds,
-                spec.scale
+                spec.scale,
+                cfg.mode.name(),
+                cfg.device_het,
             );
-            spec.build()
+            Simulation::new(cfg, spec.algorithm.build(&spec.hyper))
         }
     };
 
     let t0 = std::time::Instant::now();
     sim.run();
     let records = sim.records();
-    println!("\nround  acc%    loss    cum-GFLOPs  cum-comm-MB");
+    println!("\nround  acc%    loss    cum-GFLOPs  cum-comm-MB      virt-s  staleness");
     let step = (records.len() / 15).max(1);
     for r in records.iter().step_by(step) {
         println!(
-            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}",
+            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}  {:>10.1}  {:>9.2}",
             r.round,
             r.accuracy.unwrap_or(f64::NAN) * 100.0,
             r.mean_loss,
             r.cum_flops / 1e9,
-            r.cum_comm_bytes / 1e6
+            r.cum_comm_bytes / 1e6,
+            r.virtual_time,
+            r.mean_staleness,
         );
     }
     println!(
-        "\nfinal accuracy (last 10 evals): {:.2}%   wall: {:.1?}",
+        "\nfinal accuracy (last 10 evals): {:.2}%   virtual: {:.1}s   wall: {:.1?}",
         sim.final_accuracy(10) * 100.0,
+        sim.virtual_time(),
         t0.elapsed()
     );
 

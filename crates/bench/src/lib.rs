@@ -1,8 +1,10 @@
 //! # fedtrip-bench
 //!
 //! Experiment drivers for the paper's evaluation. Each table and figure has
-//! a dedicated binary (`table4_comm_rounds`, `fig5_convergence`, ...); all
-//! of them share:
+//! a dedicated binary (`table4_comm_rounds`, `fig5_convergence`, ...), and
+//! the runtime extension has `time_to_accuracy` (sync-barrier vs semi-async
+//! virtual wall-clock under heterogeneous device profiles); all of them
+//! share:
 //!
 //! * [`Cli`] — a tiny flag parser (`--scale smoke|default|paper`,
 //!   `--trials N`, `--seed S`, `--results DIR`),

@@ -40,6 +40,8 @@ impl Algorithm for FedAvg {
             iterations,
             train_flops: model_train_flops(net, samples),
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

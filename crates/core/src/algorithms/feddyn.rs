@@ -120,6 +120,8 @@ impl Algorithm for FedDyn {
             iterations,
             train_flops: model_train_flops(net, samples) + attach.flops,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 
@@ -171,6 +173,8 @@ mod tests {
             iterations: 1,
             train_flops: 0.0,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

@@ -68,6 +68,8 @@ impl Algorithm for FedProx {
             iterations,
             train_flops: model_train_flops(net, samples) + attach.flops,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

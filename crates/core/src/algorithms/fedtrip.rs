@@ -160,6 +160,8 @@ impl Algorithm for FedTrip {
             iterations,
             train_flops: model_train_flops(net, samples) + attach.flops,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

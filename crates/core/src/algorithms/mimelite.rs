@@ -127,6 +127,8 @@ impl Algorithm for MimeLite {
                 + data.refs.len() as f64
                     * (net.flops_forward() + net.flops_backward()) as f64,
             aux: Some(full_grad),
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 
@@ -210,6 +212,8 @@ mod tests {
             iterations: 1,
             train_flops: 0.0,
             aux: Some(vec![2.0, 4.0]),
+            staleness: 0,
+            agg_weight: 1.0,
         };
         let mut g = vec![0.0f32, 0.0];
         ml.server_update(&mut g, &[o], 1);

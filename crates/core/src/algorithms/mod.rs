@@ -96,7 +96,7 @@ pub struct ClientState {
 }
 
 /// What a client sends back to the server after local training.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LocalOutcome {
     /// Updated local parameters `w_k^t`.
     pub params: Vec<f32>,
@@ -111,6 +111,15 @@ pub struct LocalOutcome {
     /// Optional auxiliary upload (SCAFFOLD's control-variate delta,
     /// MimeLite's full-batch gradient).
     pub aux: Option<Vec<f32>>,
+    /// How many global-model versions elapsed between this client's
+    /// dispatch and its aggregation. Always `0` under the synchronous
+    /// scheduler; set by the semi-async scheduler at fold time. Algorithms
+    /// never need to touch it.
+    pub staleness: usize,
+    /// Staleness-discount multiplier applied to this outcome's aggregation
+    /// weight (`1.0` = undiscounted, the synchronous default; the
+    /// semi-async scheduler sets `1 / (1 + staleness)^a`).
+    pub agg_weight: f64,
 }
 
 /// A federated optimization method.
@@ -161,14 +170,23 @@ pub trait Algorithm: Send + Sync {
     fn attach_cost(&self, m: &CostModel) -> AttachCost;
 }
 
-/// Sample-count-weighted parameter average (Eq. 2 with `a_k = |D_k| / |D_S|`).
+/// Sample-count-weighted parameter average (Eq. 2 with `a_k = |D_k| / |D_S|`),
+/// modulated by each outcome's staleness discount `agg_weight` and
+/// renormalized, so the effective weights always sum to exactly 1
+/// (sum-preserving aggregation). With every `agg_weight == 1.0` — the
+/// synchronous default — this is bit-identical to the undiscounted Eq. 2
+/// average.
 pub fn weighted_param_average(outcomes: &[LocalOutcome]) -> Vec<f32> {
     assert!(!outcomes.is_empty(), "no outcomes to aggregate");
-    let total: f64 = outcomes.iter().map(|o| o.n_samples as f64).sum();
+    let total: f64 = outcomes
+        .iter()
+        .map(|o| o.n_samples as f64 * o.agg_weight)
+        .sum();
+    assert!(total > 0.0, "aggregation weights must be positive");
     let inputs: Vec<&[f32]> = outcomes.iter().map(|o| o.params.as_slice()).collect();
     let weights: Vec<f64> = outcomes
         .iter()
-        .map(|o| o.n_samples as f64 / total)
+        .map(|o| o.n_samples as f64 * o.agg_weight / total)
         .collect();
     vecops::weighted_average(&inputs, &weights)
 }
@@ -369,18 +387,39 @@ mod tests {
         assert_eq!(AlgorithmKind::parse("nope"), None);
     }
 
-    #[test]
-    fn weighted_average_respects_sample_counts() {
-        let o = |params: Vec<f32>, n: usize| LocalOutcome {
+    fn outcome_with_weight(params: Vec<f32>, n: usize, agg_weight: f64) -> LocalOutcome {
+        LocalOutcome {
             params,
             n_samples: n,
             mean_loss: 0.0,
             iterations: 1,
             train_flops: 0.0,
             aux: None,
-        };
-        let avg = weighted_param_average(&[o(vec![0.0, 0.0], 100), o(vec![4.0, 8.0], 300)]);
+            staleness: 0,
+            agg_weight,
+        }
+    }
+
+    #[test]
+    fn weighted_average_respects_sample_counts() {
+        let avg = weighted_param_average(&[
+            outcome_with_weight(vec![0.0, 0.0], 100, 1.0),
+            outcome_with_weight(vec![4.0, 8.0], 300, 1.0),
+        ]);
         assert_eq!(avg, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn weighted_average_applies_staleness_discount() {
+        // discounting the second outcome to 1/3 makes the two contributions
+        // equal: 100 * 1.0 == 300 * (1/3)
+        let avg = weighted_param_average(&[
+            outcome_with_weight(vec![0.0, 0.0], 100, 1.0),
+            outcome_with_weight(vec![4.0, 8.0], 300, 1.0 / 3.0),
+        ]);
+        for (got, want) in avg.iter().zip([2.0f32, 4.0]) {
+            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+        }
     }
 
     #[test]

@@ -172,6 +172,8 @@ impl Algorithm for Moon {
             iterations,
             train_flops: model_train_flops(net, samples) + extra_fwd,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

@@ -108,6 +108,8 @@ impl Algorithm for Scaffold {
             train_flops: model_train_flops(net, samples)
                 + 2.0 * (iterations + 1) as f64 * n as f64,
             aux: Some(delta_c),
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 
@@ -185,6 +187,8 @@ mod tests {
             iterations: 1,
             train_flops: 0.0,
             aux: Some(vec![10.0, -20.0]),
+            staleness: 0,
+            agg_weight: 1.0,
         };
         let mut g = vec![0.0f32, 0.0];
         sc.server_update(&mut g, &[o], 1);

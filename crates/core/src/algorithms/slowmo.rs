@@ -73,6 +73,8 @@ impl Algorithm for SlowMo {
             iterations,
             train_flops: model_train_flops(net, samples),
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 
@@ -115,6 +117,8 @@ mod tests {
             iterations: 1,
             train_flops: 0.0,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

@@ -9,14 +9,23 @@
 
 use crate::algorithms::{AlgorithmKind, ClientState, HyperParams};
 use crate::engine::{RoundRecord, Simulation, SimulationConfig};
+use crate::runtime::SchedulerState;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path;
 
+/// Current snapshot format version. Bumped to 2 when the runtime split
+/// added the virtual clock and scheduler (in-flight/buffer) state; version-1
+/// snapshots predate those fields and cannot be resumed faithfully, so
+/// [`Checkpoint::load`] rejects any other version with a clear error.
+pub const CHECKPOINT_VERSION: u32 = 2;
+
 /// A serialized simulation snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Snapshot format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
     /// Engine configuration.
     pub config: SimulationConfig,
     /// Which method was running.
@@ -33,6 +42,12 @@ pub struct Checkpoint {
     pub server_state: Vec<Vec<f32>>,
     /// Round records so far.
     pub records: Vec<RoundRecord>,
+    /// Virtual-clock instant at capture (can sit past the last record's
+    /// fold time while semi-async arrivals were being collected).
+    pub clock: f64,
+    /// Scheduler position: fold counter plus in-flight / buffered jobs
+    /// (empty for the stateless synchronous scheduler).
+    pub scheduler: SchedulerState,
 }
 
 impl Checkpoint {
@@ -42,6 +57,7 @@ impl Checkpoint {
     /// (the engine holds only the type-erased method).
     pub fn capture(sim: &Simulation, algorithm: AlgorithmKind, hyper: HyperParams) -> Checkpoint {
         Checkpoint {
+            version: CHECKPOINT_VERSION,
             config: *sim.config(),
             algorithm,
             hyper,
@@ -50,6 +66,8 @@ impl Checkpoint {
             states: sim.client_states().to_vec(),
             server_state: sim.algorithm_server_state(),
             records: sim.records().to_vec(),
+            clock: sim.virtual_time(),
+            scheduler: sim.scheduler_state(),
         }
     }
 
@@ -67,6 +85,7 @@ impl Checkpoint {
             self.states.clone(),
             self.records.clone(),
         );
+        sim.restore_runtime(self.clock, self.scheduler.clone());
         sim
     }
 
@@ -81,9 +100,24 @@ impl Checkpoint {
     }
 
     /// Read a snapshot back.
+    ///
+    /// Rejects snapshots whose `version` differs from
+    /// [`CHECKPOINT_VERSION`] (including pre-versioning files, which lack
+    /// the field entirely).
     pub fn load(path: &Path) -> io::Result<Checkpoint> {
         let body = fs::read_to_string(path)?;
-        serde_json::from_str(&body).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let ckpt: Checkpoint = serde_json::from_str(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "checkpoint format version {} unsupported (expected {})",
+                    ckpt.version, CHECKPOINT_VERSION
+                ),
+            ));
+        }
+        Ok(ckpt)
     }
 }
 
@@ -147,6 +181,34 @@ mod tests {
         resume_equals_straight(AlgorithmKind::FedDyn);
         resume_equals_straight(AlgorithmKind::Scaffold);
         resume_equals_straight(AlgorithmKind::MimeLite);
+    }
+
+    #[test]
+    fn load_rejects_foreign_format_versions() {
+        let hyper = HyperParams::default();
+        let mut sim = Simulation::new(cfg(33), AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let mut ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        let path = std::env::temp_dir().join("fedtrip_ckpt_version_test.json");
+        ckpt.save(&path).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("version"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn capture_records_clock_and_scheduler_state() {
+        let hyper = HyperParams::default();
+        let mut sim = Simulation::new(cfg(34), AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        assert_eq!(ckpt.version, CHECKPOINT_VERSION);
+        assert!(ckpt.clock > 0.0, "virtual clock should have advanced");
+        // sync scheduler is stateless
+        assert!(ckpt.scheduler.in_flight.is_empty());
     }
 
     #[test]

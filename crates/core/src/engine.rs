@@ -1,39 +1,39 @@
-//! The synchronous federated round loop (paper §III-A).
+//! The federated simulation engine.
 //!
-//! Each round: the server samples `K` of `N` clients (seeded, so runs are
-//! bit-reproducible), broadcasts the global parameters, the selected clients
-//! train locally **in parallel** (rayon — clients are independent, and
-//! outcomes are folded in client-index order so thread scheduling can never
-//! change results), and the server aggregates with the method's
-//! `server_update`. The engine also does the bookkeeping the paper's
-//! evaluation is built on: participation gaps (FedTrip's `xi`), cumulative
-//! communication bytes, cumulative local-compute FLOPs, and per-round test
-//! accuracy of the global model.
+//! Historically a single ~450-line struct that owned selection, failure
+//! injection, local training, accounting, aggregation and evaluation all at
+//! once; now a thin driver over the layered [`crate::runtime`]: a
+//! [`Sampler`] owns *who* participates, a
+//! [`ClientExecutor`](crate::runtime::ClientExecutor) owns the
+//! rayon-parallel local-training fan-out, a [`Scheduler`] owns *when*
+//! results fold into the global model, and a [`VirtualClock`] plus
+//! per-client [`DeviceProfile`]s turn the Appendix-A cost accounting
+//! (FLOPs, bytes) into virtual seconds.
+//!
+//! Two schedulers ship: [`RunMode::Sync`] reproduces the paper's §III-A
+//! synchronous round loop **bit-for-bit** (pinned by the golden regression
+//! test in `tests/golden_sync.rs`), and [`RunMode::SemiAsync`] is a
+//! FedBuff-style buffered aggregator for straggler-dominated federations.
+//! The engine keeps doing the bookkeeping the paper's evaluation is built
+//! on: participation gaps (FedTrip's `xi`), cumulative communication bytes,
+//! cumulative local-compute FLOPs, per-round test accuracy, and — new with
+//! the runtime split — the virtual wall-clock behind a time-to-accuracy
+//! metric.
 
-use crate::algorithms::{Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
+use crate::algorithms::{Algorithm, ClientState};
 use crate::costs::CostModel;
+use crate::runtime::{
+    DeviceProfile, RuntimeCtx, Sampler, Scheduler, SchedulerState, SemiAsync, StepOutput,
+    Synchronous, VirtualClock,
+};
+pub use crate::runtime::{RunMode, SelectionStrategy};
+use crate::runtime::ClientExecutor;
 use fedtrip_data::partition::{HeterogeneityKind, Partition};
 use fedtrip_data::synth::{DatasetKind, SyntheticVision};
 use fedtrip_models::ModelKind;
-use fedtrip_tensor::rng::Prng;
-use fedtrip_tensor::{Sequential, Tensor};
 use fedtrip_tensor::optim::LrSchedule;
-use rayon::prelude::*;
+use fedtrip_tensor::{Sequential, Tensor};
 use serde::{Deserialize, Serialize};
-
-/// How the server picks the `K` participants of each round.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SelectionStrategy {
-    /// The paper's rule: uniform sampling without replacement.
-    Uniform,
-    /// Deterministic rotation through the client list — every client
-    /// participates exactly once every `N / K` rounds (gap is constant,
-    /// which also pins FedTrip's `xi`; useful for ablations).
-    RoundRobin,
-    /// Sample proportional to local data size (without replacement) —
-    /// the "capability-aware" selection common in production FL.
-    WeightedBySamples,
-}
 
 /// Full configuration of one federated simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,9 +46,11 @@ pub struct SimulationConfig {
     pub heterogeneity: HeterogeneityKind,
     /// Federation size `N` (paper: 10, or 50 for the scalability study).
     pub n_clients: usize,
-    /// Clients selected per round `K` (paper: 4).
+    /// Clients selected per round `K` (paper: 4). In semi-async mode this
+    /// is the training concurrency the scheduler maintains.
     pub clients_per_round: usize,
-    /// Communication rounds `T` (paper: 100).
+    /// Communication rounds `T` (paper: 100). In semi-async mode one round
+    /// == one buffer fold.
     pub rounds: usize,
     /// Local epochs per round (paper default 1; Table VII uses 5 and 10).
     pub local_epochs: usize,
@@ -59,7 +61,7 @@ pub struct SimulationConfig {
     /// Momentum for methods that train with SGDm (paper: 0.9).
     pub momentum: f32,
     /// Master seed; everything (init, partition, selection, shuffling,
-    /// data synthesis) derives from it.
+    /// data synthesis, device profiles) derives from it.
     pub seed: u64,
     /// Held-out test samples per class for evaluation.
     pub test_per_class: usize,
@@ -76,6 +78,18 @@ pub struct SimulationConfig {
     pub failure_prob: f32,
     /// Learning-rate schedule across rounds (paper: constant).
     pub lr_schedule: LrSchedule,
+    /// Aggregation scheduler (paper: synchronous).
+    pub mode: RunMode,
+    /// Device heterogeneity: maximum compute-speed spread across clients
+    /// (`>= 1`; `1.0` = every client is the reference device). Only
+    /// affects the virtual clock, never training results.
+    pub device_het: f32,
+    /// Semi-async buffer size `B` — arrivals folded per server step
+    /// (`0` = auto: `max(1, K / 2)`). Ignored in sync mode.
+    pub async_buffer: usize,
+    /// Semi-async staleness-discount exponent `a` in `1 / (1 + s)^a`.
+    /// Ignored in sync mode.
+    pub staleness_exponent: f32,
 }
 
 impl Default for SimulationConfig {
@@ -98,11 +112,27 @@ impl Default for SimulationConfig {
             selection: SelectionStrategy::Uniform,
             failure_prob: 0.0,
             lr_schedule: LrSchedule::Constant,
+            mode: RunMode::Sync,
+            device_het: 1.0,
+            async_buffer: 0,
+            staleness_exponent: 0.5,
         }
     }
 }
 
-/// Measurements of one communication round.
+impl SimulationConfig {
+    /// The effective semi-async buffer size `B` (resolves the `0 = auto`
+    /// convention to `max(1, K / 2)`).
+    pub fn effective_buffer(&self) -> usize {
+        if self.async_buffer == 0 {
+            (self.clients_per_round / 2).max(1)
+        } else {
+            self.async_buffer
+        }
+    }
+}
+
+/// Measurements of one communication round (sync) / server fold (semi-async).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RoundRecord {
     /// Round number (1-based).
@@ -110,15 +140,21 @@ pub struct RoundRecord {
     /// Test accuracy of the aggregated global model (`None` when this round
     /// was not an evaluation round).
     pub accuracy: Option<f64>,
-    /// Mean local training loss over the selected clients.
+    /// Mean local training loss over the folded clients.
     pub mean_loss: f64,
     /// Cumulative client-server communication in bytes (up + down, all
     /// clients, including method-specific extras).
     pub cum_comm_bytes: f64,
     /// Cumulative local computation in FLOPs (model fwd/bwd + attach ops).
     pub cum_flops: f64,
-    /// The clients that participated.
+    /// The clients whose results folded this round (selection order in
+    /// sync mode, virtual-arrival order in semi-async mode).
     pub selected: Vec<usize>,
+    /// Virtual wall-clock at the end of this round, in seconds (device
+    /// compute + link time under the per-client [`DeviceProfile`]s).
+    pub virtual_time: f64,
+    /// Mean staleness of the folded updates (always `0` in sync mode).
+    pub mean_staleness: f64,
 }
 
 /// A running federated simulation.
@@ -136,16 +172,21 @@ pub struct Simulation {
     records: Vec<RoundRecord>,
     cum_comm_bytes: f64,
     cum_flops: f64,
+    sampler: Sampler,
+    profiles: Vec<DeviceProfile>,
+    clock: VirtualClock,
+    scheduler: Box<dyn Scheduler>,
 }
 
 impl Simulation {
-    /// Build a simulation: synthesizes the dataset, partitions it, and
-    /// initializes the global model.
+    /// Build a simulation: synthesizes the dataset, partitions it,
+    /// initializes the global model, derives device profiles, and
+    /// constructs the configured scheduler.
     ///
     /// # Panics
     /// Panics on inconsistent configuration (zero clients, `K > N`, more
     /// requested samples than the dataset holds, model/dataset shape
-    /// mismatch).
+    /// mismatch, `device_het < 1`).
     pub fn new(cfg: SimulationConfig, mut algorithm: Box<dyn Algorithm>) -> Self {
         assert!(cfg.n_clients > 0, "need at least one client");
         assert!(
@@ -154,6 +195,7 @@ impl Simulation {
         );
         assert!(cfg.rounds > 0, "need at least one round");
         assert!(cfg.eval_every > 0, "eval_every must be positive");
+        assert!(cfg.device_het >= 1.0, "device_het must be >= 1");
 
         let dataset = SyntheticVision::new(cfg.dataset, cfg.seed);
         let mut spec = *dataset.spec();
@@ -171,6 +213,21 @@ impl Simulation {
         let global = template.params_flat();
         algorithm.on_init(cfg.n_clients, global.len());
         let (test_x, test_y) = dataset.test_set(cfg.test_per_class);
+        let sampler = Sampler::new(
+            cfg.seed,
+            cfg.clients_per_round,
+            cfg.selection,
+            cfg.failure_prob,
+            partition.clients.iter().map(|c| c.len()).collect(),
+        );
+        let profiles = DeviceProfile::federation(cfg.seed, cfg.n_clients, cfg.device_het as f64);
+        let scheduler: Box<dyn Scheduler> = match cfg.mode {
+            RunMode::Sync => Box::new(Synchronous),
+            RunMode::SemiAsync => Box::new(SemiAsync::new(
+                cfg.effective_buffer(),
+                cfg.staleness_exponent,
+            )),
+        };
         Simulation {
             cfg,
             algorithm,
@@ -185,6 +242,10 @@ impl Simulation {
             records: Vec::new(),
             cum_comm_bytes: 0.0,
             cum_flops: 0.0,
+            sampler,
+            profiles,
+            clock: VirtualClock::new(),
+            scheduler,
         }
     }
 
@@ -218,6 +279,16 @@ impl Simulation {
         self.round
     }
 
+    /// Current virtual wall-clock in seconds.
+    pub fn virtual_time(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Per-client device profiles in effect.
+    pub fn device_profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
     /// A copy of the global model as a ready-to-use network.
     pub fn global_model(&self) -> Sequential {
         let mut net = self.template.clone();
@@ -236,10 +307,15 @@ impl Simulation {
         self.algorithm.restore_server_state(state);
     }
 
+    /// Scheduler position (clock-independent) for checkpointing.
+    pub fn scheduler_state(&self) -> SchedulerState {
+        self.scheduler.export_state()
+    }
+
     /// Restore engine position from a checkpoint (see
     /// [`crate::checkpoint::Checkpoint`]). Overwrites round counter, global
-    /// parameters, client states and records; cumulative accounting is
-    /// recovered from the last record.
+    /// parameters, client states and records; cumulative accounting and the
+    /// virtual clock are recovered from the last record.
     ///
     /// # Panics
     /// Panics when the snapshot's shapes don't match this simulation.
@@ -259,8 +335,17 @@ impl Simulation {
         if let Some(last) = records.last() {
             self.cum_comm_bytes = last.cum_comm_bytes;
             self.cum_flops = last.cum_flops;
+            self.clock.restore(last.virtual_time);
         }
         self.records = records;
+    }
+
+    /// Restore the runtime layer from a checkpoint: the exact virtual-clock
+    /// instant (which can sit past the last record's fold time while
+    /// arrivals were being collected) and the scheduler's in-flight state.
+    pub fn restore_runtime(&mut self, clock_now: f64, scheduler: SchedulerState) {
+        self.clock.restore(clock_now);
+        self.scheduler.restore_state(scheduler);
     }
 
     /// The Appendix-A cost model for this configuration (uses the nominal
@@ -277,129 +362,50 @@ impl Simulation {
         }
     }
 
-    /// Pick this round's participants according to the selection strategy.
-    fn select_clients(&self, t: usize) -> Vec<usize> {
-        let (n, k) = (self.cfg.n_clients, self.cfg.clients_per_round);
-        let mut sel_rng = Prng::derive(self.cfg.seed, &[0x005E_1EC7 /* "SELECT" */, t as u64]);
-        let mut selected = match self.cfg.selection {
-            SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
-            SelectionStrategy::RoundRobin => {
-                (0..k).map(|i| ((t - 1) * k + i) % n).collect()
-            }
-            SelectionStrategy::WeightedBySamples => {
-                // weighted sampling without replacement (sequential draws)
-                let mut weights: Vec<f64> = self
-                    .partition
-                    .clients
-                    .iter()
-                    .map(|c| c.len() as f64)
-                    .collect();
-                let mut picked = Vec::with_capacity(k);
-                for _ in 0..k {
-                    let total: f64 = weights.iter().sum();
-                    let mut u = sel_rng.uniform() as f64 * total;
-                    let mut chosen = 0;
-                    for (i, &w) in weights.iter().enumerate() {
-                        if w <= 0.0 {
-                            continue;
-                        }
-                        u -= w;
-                        chosen = i;
-                        if u <= 0.0 {
-                            break;
-                        }
-                    }
-                    picked.push(chosen);
-                    weights[chosen] = 0.0;
-                }
-                picked
-            }
-        };
-        selected.sort_unstable(); // deterministic aggregation order
-        selected.dedup();
-        selected
-    }
-
-    /// Apply straggler injection: drop each selected client with the
-    /// configured probability, always keeping at least one survivor.
-    fn apply_failures(&self, t: usize, selected: &[usize]) -> Vec<usize> {
-        if self.cfg.failure_prob <= 0.0 {
-            return selected.to_vec();
-        }
-        let mut rng = Prng::derive(self.cfg.seed, &[0xFA_11, t as u64]);
-        let mut survivors: Vec<usize> = selected
-            .iter()
-            .copied()
-            .filter(|_| rng.uniform() >= self.cfg.failure_prob)
-            .collect();
-        if survivors.is_empty() {
-            // keep one deterministic survivor so the round still aggregates
-            survivors.push(selected[rng.below(selected.len())]);
-        }
-        survivors
-    }
-
-    /// Execute one communication round; returns the new record.
+    /// Execute one server step (sync: one communication round; semi-async:
+    /// one buffer fold); returns the new record.
     pub fn run_round(&mut self) -> &RoundRecord {
         let t = self.round + 1;
-        let selected = self.apply_failures(t, &self.select_clients(t));
 
-        // pull the selected clients' states out so rayon workers own them
-        let mut taken: Vec<(usize, ClientState)> = selected
-            .iter()
-            .map(|&c| (c, std::mem::take(&mut self.states[c])))
-            .collect();
-
-        let global = &self.global;
-        let dataset = &self.dataset;
-        let partition = &self.partition;
-        let template = &self.template;
-        let cfg = &self.cfg;
-        let algorithm = &self.algorithm;
-        let round_lr = cfg.lr_schedule.lr_at(cfg.lr, t);
-
-        let outcomes: Vec<LocalOutcome> = taken
-            .par_iter_mut()
-            .map(|(client_id, state)| {
-                let mut net = template.clone();
-                net.set_params_flat(global);
-                let ctx = LocalContext {
-                    round: t,
-                    client_id: *client_id,
-                    global,
-                    gap: state.last_round.map(|lr| t.saturating_sub(lr)),
-                    epochs: cfg.local_epochs,
-                    batch_size: cfg.batch_size,
-                    lr: round_lr,
-                    momentum: cfg.momentum,
-                    seed: cfg.seed,
-                };
-                let data = ClientData {
-                    dataset,
-                    refs: &partition.clients[*client_id],
-                };
-                algorithm.local_train(&mut net, &data, state, &ctx)
-            })
-            .collect();
-
-        // return states
-        for (c, s) in taken {
-            self.states[c] = s;
-        }
-
-        // accounting: every method exchanges 2|w| parameters; extras from
-        // the attach-cost model
+        // accounting basis: every method exchanges 2|w| parameters; extras
+        // from the attach-cost model
         let w_bytes = self.global.len() * std::mem::size_of::<f32>();
         let cost = self.cost_model();
         let extra = self.algorithm.attach_cost(&cost).extra_comm_bytes;
-        for o in &outcomes {
-            self.cum_comm_bytes += (2 * w_bytes + extra) as f64;
+        let comm_per_client = (2 * w_bytes + extra) as f64;
+
+        let StepOutput {
+            folded,
+            participants,
+        } = {
+            let mut rt = RuntimeCtx {
+                exec: ClientExecutor {
+                    cfg: &self.cfg,
+                    dataset: &self.dataset,
+                    partition: &self.partition,
+                    template: &self.template,
+                },
+                sampler: &self.sampler,
+                profiles: &self.profiles,
+                algorithm: self.algorithm.as_ref(),
+                clock: &mut self.clock,
+                global: &self.global,
+                states: &mut self.states,
+                comm_bytes_per_client: comm_per_client,
+            };
+            self.scheduler.step(t, &mut rt)
+        };
+
+        for o in &folded {
+            self.cum_comm_bytes += comm_per_client;
             self.cum_flops += o.train_flops;
         }
-        let mean_loss = outcomes.iter().map(|o| o.mean_loss).sum::<f64>()
-            / outcomes.len().max(1) as f64;
+        let mean_loss =
+            folded.iter().map(|o| o.mean_loss).sum::<f64>() / folded.len().max(1) as f64;
+        let mean_staleness =
+            folded.iter().map(|o| o.staleness as f64).sum::<f64>() / folded.len().max(1) as f64;
 
-        self.algorithm.server_update(&mut self.global, &outcomes, t);
+        self.algorithm.server_update(&mut self.global, &folded, t);
 
         let accuracy = if t.is_multiple_of(self.cfg.eval_every) {
             Some(self.evaluate())
@@ -413,7 +419,9 @@ impl Simulation {
             mean_loss,
             cum_comm_bytes: self.cum_comm_bytes,
             cum_flops: self.cum_flops,
-            selected,
+            selected: participants,
+            virtual_time: self.clock.now(),
+            mean_staleness,
         });
         self.round = t;
         self.records.last().expect("just pushed")
@@ -448,6 +456,13 @@ impl Simulation {
         rounds_to_accuracy(&self.records, target)
     }
 
+    /// Virtual wall-clock (seconds) at which the evaluated accuracy first
+    /// reached `target` — the straggler-sensitive companion of
+    /// [`Simulation::rounds_to_accuracy`].
+    pub fn time_to_accuracy(&self, target: f64) -> Option<f64> {
+        time_to_accuracy(&self.records, target)
+    }
+
     /// Mean accuracy over the last `n` evaluated rounds (the paper's Fig. 6
     /// "final accuracy" metric).
     pub fn final_accuracy(&self, n: usize) -> f64 {
@@ -456,26 +471,30 @@ impl Simulation {
 }
 
 /// Chunked accuracy evaluation (bounds activation memory on big test sets).
-pub fn evaluate_in_chunks(
-    net: &mut Sequential,
-    x: &Tensor,
-    y: &[usize],
-    chunk: usize,
-) -> f64 {
+///
+/// One scratch tensor is reused across all full-size chunks (plus at most
+/// one tail-sized tensor), so evaluation allocates O(chunk) instead of one
+/// fresh tensor per chunk.
+pub fn evaluate_in_chunks(net: &mut Sequential, x: &Tensor, y: &[usize], chunk: usize) -> f64 {
     let n = y.len();
     assert!(n > 0, "empty test set");
     let elems = x.len() / x.shape()[0];
+    let mut shape = x.shape().to_vec();
+    shape[0] = chunk.min(n);
+    let mut scratch = Tensor::zeros(&shape);
     let mut correct = 0usize;
     let mut off = 0usize;
     while off < n {
         let end = (off + chunk).min(n);
         let rows = end - off;
-        let mut shape = x.shape().to_vec();
-        shape[0] = rows;
-        let slice =
-            Tensor::from_vec(x.as_slice()[off * elems..end * elems].to_vec(), &shape)
-                .expect("chunk shape consistent");
-        let pred = net.predict(&slice);
+        if rows != scratch.shape()[0] {
+            shape[0] = rows;
+            scratch = Tensor::zeros(&shape);
+        }
+        scratch
+            .as_mut_slice()
+            .copy_from_slice(&x.as_slice()[off * elems..end * elems]);
+        let pred = net.predict(&scratch);
         correct += pred
             .iter()
             .zip(&y[off..end])
@@ -492,6 +511,15 @@ pub fn rounds_to_accuracy(records: &[RoundRecord], target: f64) -> Option<usize>
         .iter()
         .find(|r| r.accuracy.map(|a| a >= target).unwrap_or(false))
         .map(|r| r.round)
+}
+
+/// Virtual wall-clock (seconds) at which the evaluated accuracy first
+/// reached `target`.
+pub fn time_to_accuracy(records: &[RoundRecord], target: f64) -> Option<f64> {
+    records
+        .iter()
+        .find(|r| r.accuracy.map(|a| a >= target).unwrap_or(false))
+        .map(|r| r.virtual_time)
 }
 
 /// Mean accuracy over the last `n` evaluated rounds.
@@ -649,26 +677,22 @@ mod tests {
 
     #[test]
     fn rounds_to_accuracy_helper() {
-        let recs = vec![
-            RoundRecord {
-                round: 1,
-                accuracy: Some(0.3),
-                mean_loss: 0.0,
-                cum_comm_bytes: 0.0,
-                cum_flops: 0.0,
-                selected: vec![],
-            },
-            RoundRecord {
-                round: 2,
-                accuracy: Some(0.6),
-                mean_loss: 0.0,
-                cum_comm_bytes: 0.0,
-                cum_flops: 0.0,
-                selected: vec![],
-            },
-        ];
+        let rec = |round: usize, accuracy: Option<f64>, virtual_time: f64| RoundRecord {
+            round,
+            accuracy,
+            mean_loss: 0.0,
+            cum_comm_bytes: 0.0,
+            cum_flops: 0.0,
+            selected: vec![],
+            virtual_time,
+            mean_staleness: 0.0,
+        };
+        let recs = vec![rec(1, Some(0.3), 10.0), rec(2, Some(0.6), 25.0)];
         assert_eq!(rounds_to_accuracy(&recs, 0.5), Some(2));
         assert_eq!(rounds_to_accuracy(&recs, 0.9), None);
+        assert_eq!(time_to_accuracy(&recs, 0.5), Some(25.0));
+        assert_eq!(time_to_accuracy(&recs, 0.2), Some(10.0));
+        assert_eq!(time_to_accuracy(&recs, 0.9), None);
         assert_eq!(final_accuracy(&recs, 1), 0.6);
         assert!((final_accuracy(&recs, 10) - 0.45).abs() < 1e-12);
     }
@@ -678,6 +702,14 @@ mod tests {
     fn rejects_k_greater_than_n() {
         let mut cfg = tiny_cfg(1);
         cfg.clients_per_round = 7;
+        let _ = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "device_het")]
+    fn rejects_sub_unit_device_het() {
+        let mut cfg = tiny_cfg(1);
+        cfg.device_het = 0.5;
         let _ = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
     }
 
@@ -768,5 +800,66 @@ mod tests {
         constant.run();
         decayed.run();
         assert_ne!(constant.global_params(), decayed.global_params());
+    }
+
+    #[test]
+    fn sync_virtual_time_is_positive_and_strictly_increasing() {
+        let mut s = sim(AlgorithmKind::FedAvg, 18);
+        s.run();
+        let mut prev = 0.0;
+        for r in s.records() {
+            assert!(r.virtual_time > prev, "round {}: {}", r.round, r.virtual_time);
+            assert_eq!(r.mean_staleness, 0.0);
+            prev = r.virtual_time;
+        }
+        assert_eq!(s.virtual_time(), prev);
+    }
+
+    #[test]
+    fn device_het_slows_the_virtual_clock_but_not_training() {
+        let cfg = tiny_cfg(19);
+        let mut het_cfg = cfg;
+        het_cfg.device_het = 4.0;
+        let mut homo = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        let mut het =
+            Simulation::new(het_cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        homo.run();
+        het.run();
+        // identical learning trajectory...
+        assert_eq!(homo.global_params(), het.global_params());
+        // ...but strictly more virtual time under slower devices
+        assert!(het.virtual_time() > homo.virtual_time());
+    }
+
+    #[test]
+    fn semiasync_mode_runs_and_reports_staleness() {
+        let mut cfg = tiny_cfg(20);
+        cfg.mode = RunMode::SemiAsync;
+        cfg.device_het = 4.0;
+        cfg.rounds = 8;
+        let mut s = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
+        s.run();
+        assert_eq!(s.records().len(), 8);
+        let b = cfg.effective_buffer();
+        for r in s.records() {
+            assert!(!r.selected.is_empty());
+            assert!(r.selected.len() <= b);
+            assert!(r.accuracy.is_some());
+            assert!(r.virtual_time > 0.0);
+        }
+        // with a 4x speed spread some fold must contain a stale update
+        assert!(
+            s.records().iter().any(|r| r.mean_staleness > 0.0),
+            "no staleness ever observed in semi-async mode"
+        );
+    }
+
+    #[test]
+    fn effective_buffer_auto_rule() {
+        let mut cfg = tiny_cfg(1);
+        assert_eq!(cfg.effective_buffer(), 1); // K = 3 -> max(1, 1)
+        cfg.clients_per_round = 3;
+        cfg.async_buffer = 2;
+        assert_eq!(cfg.effective_buffer(), 2);
     }
 }

@@ -2,9 +2,15 @@
 //!
 //! The federated-learning engine of the FedTrip reproduction.
 //!
-//! * [`engine`] — the synchronous round loop of the paper's §III-A: seeded
-//!   K-of-N client selection, parallel local training (rayon), weighted
-//!   aggregation `w_t = Σ a_k w_k` (Eq. 2), and per-round evaluation.
+//! * [`engine`] — the simulation driver: seeded K-of-N client selection,
+//!   parallel local training (rayon), weighted aggregation `w_t = Σ a_k w_k`
+//!   (Eq. 2), and per-round evaluation, as a thin loop over [`runtime`].
+//! * [`runtime`] — the layered federation runtime the engine composes: a
+//!   `Scheduler` (the paper's synchronous barrier, bit-identical, plus a
+//!   FedBuff-style semi-async buffered aggregator with staleness-discounted
+//!   weights), a `Sampler` (selection + straggler injection), a
+//!   `ClientExecutor` (training fan-out), and a `VirtualClock` with
+//!   seed-derived per-client `DeviceProfile`s.
 //! * [`algorithms`] — the paper's contribution (**FedTrip**, Algorithm 1) and
 //!   every baseline it is evaluated against: FedAvg, FedProx, MOON, FedDyn,
 //!   SlowMo, plus the Appendix-A comparators SCAFFOLD and MimeLite.
@@ -21,9 +27,11 @@ pub mod checkpoint;
 pub mod costs;
 pub mod engine;
 pub mod experiment;
+pub mod runtime;
 
 pub use algorithms::{Algorithm, AlgorithmKind, HyperParams};
 pub use checkpoint::Checkpoint;
 pub use costs::{AttachCost, CostModel};
-pub use engine::{RoundRecord, SelectionStrategy, Simulation, SimulationConfig};
+pub use engine::{RoundRecord, RunMode, SelectionStrategy, Simulation, SimulationConfig};
 pub use experiment::{ExperimentSpec, Scale};
+pub use runtime::{DeviceProfile, Sampler, Scheduler, SemiAsync, Synchronous, VirtualClock};

@@ -1,0 +1,85 @@
+//! Local-training fan-out.
+//!
+//! One batch of clients trains **in parallel** (rayon — clients are
+//! independent) from a given global model. Outcomes are returned in the
+//! order the clients were passed in, and every client derives its own RNG
+//! stream from `(seed, round, client)`, so thread scheduling can never
+//! change results. This is the pre-runtime engine's round body, moved
+//! verbatim so both schedulers share one code path.
+
+use crate::algorithms::{Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
+use crate::engine::SimulationConfig;
+use fedtrip_data::partition::Partition;
+use fedtrip_data::synth::SyntheticVision;
+use fedtrip_tensor::Sequential;
+use rayon::prelude::*;
+
+/// Shared, read-only context for training a batch of clients.
+pub struct ClientExecutor<'a> {
+    /// Engine configuration (epochs, batch size, LR schedule, seed).
+    pub cfg: &'a SimulationConfig,
+    /// The procedural dataset.
+    pub dataset: &'a SyntheticVision,
+    /// Per-client sample assignment.
+    pub partition: &'a Partition,
+    /// Architecture template (cloned per worker).
+    pub template: &'a Sequential,
+}
+
+impl ClientExecutor<'_> {
+    /// Train `clients` in parallel from `global`, as server step `round`
+    /// (1-based; also the LR-schedule index and the RNG stream tag).
+    ///
+    /// Client states are taken out of `states` for the duration of training
+    /// and returned afterwards; outcomes come back in `clients` order.
+    pub fn train_batch(
+        &self,
+        algorithm: &dyn Algorithm,
+        global: &[f32],
+        states: &mut [ClientState],
+        clients: &[usize],
+        round: usize,
+    ) -> Vec<LocalOutcome> {
+        // pull the selected clients' states out so rayon workers own them
+        let mut taken: Vec<(usize, ClientState)> = clients
+            .iter()
+            .map(|&c| (c, std::mem::take(&mut states[c])))
+            .collect();
+
+        let cfg = self.cfg;
+        let dataset = self.dataset;
+        let partition = self.partition;
+        let template = self.template;
+        let round_lr = cfg.lr_schedule.lr_at(cfg.lr, round);
+
+        let outcomes: Vec<LocalOutcome> = taken
+            .par_iter_mut()
+            .map(|(client_id, state)| {
+                let mut net = template.clone();
+                net.set_params_flat(global);
+                let ctx = LocalContext {
+                    round,
+                    client_id: *client_id,
+                    global,
+                    gap: state.last_round.map(|lr| round.saturating_sub(lr)),
+                    epochs: cfg.local_epochs,
+                    batch_size: cfg.batch_size,
+                    lr: round_lr,
+                    momentum: cfg.momentum,
+                    seed: cfg.seed,
+                };
+                let data = ClientData {
+                    dataset,
+                    refs: &partition.clients[*client_id],
+                };
+                algorithm.local_train(&mut net, &data, state, &ctx)
+            })
+            .collect();
+
+        // return states
+        for (c, s) in taken {
+            states[c] = s;
+        }
+        outcomes
+    }
+}

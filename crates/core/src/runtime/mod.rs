@@ -1,0 +1,84 @@
+//! The layered federation runtime.
+//!
+//! The paper's engine (§III-A) is a strictly synchronous round loop. Real
+//! resource-constrained federations — the setting FedTrip targets — are
+//! bottlenecked by heterogeneous device speed and stragglers, which a
+//! synchronous-only engine cannot model. This module decomposes the engine
+//! into composable layers so the async/staleness scenario family opens up
+//! while the paper's sync semantics stay bit-identical:
+//!
+//! * [`clock`] — a [`VirtualClock`] plus per-client [`DeviceProfile`]s
+//!   (compute-speed multiplier and link bandwidth, derived deterministically
+//!   from the master seed) that compose with the Appendix-A cost accounting
+//!   to turn FLOPs and bytes into virtual seconds;
+//! * [`sampler`] — [`Sampler`] owns *who* participates: the selection
+//!   strategies and straggler injection that used to live inside the engine,
+//!   with the exact same RNG stream derivations;
+//! * [`executor`] — [`ClientExecutor`] owns local-training fan-out: the
+//!   rayon-parallel client loop with deterministic per-client RNG streams;
+//! * [`scheduler`] — [`Scheduler`] owns *when* client results fold into the
+//!   global model: [`Synchronous`] reproduces the paper's barriered round
+//!   loop bit-for-bit (guarded by a golden regression test), [`SemiAsync`]
+//!   is a FedBuff-style buffered aggregator that folds the first `B`
+//!   arrivals by virtual completion time with staleness-discounted weights
+//!   `1 / (1 + s)^a`.
+
+pub mod clock;
+pub mod executor;
+pub mod sampler;
+pub mod scheduler;
+
+pub use clock::{DeviceProfile, VirtualClock};
+pub use executor::ClientExecutor;
+pub use sampler::{Sampler, SelectionStrategy};
+pub use scheduler::{
+    staleness_weight, RuntimeCtx, Scheduler, SchedulerState, SemiAsync, StepOutput, Synchronous,
+};
+
+use serde::{Deserialize, Serialize};
+
+/// Which scheduler drives the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunMode {
+    /// The paper's barriered round loop: every selected client reports back
+    /// before the server aggregates (bit-identical to the pre-runtime
+    /// engine).
+    Sync,
+    /// FedBuff-style buffered semi-asynchronous aggregation: the server
+    /// folds the first `B` arrivals by virtual completion time, discounting
+    /// stale updates by `1 / (1 + s)^a`.
+    SemiAsync,
+}
+
+impl RunMode {
+    /// Parse `sync` / `semiasync` (case-insensitive).
+    pub fn parse(s: &str) -> Option<RunMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "sync" => Some(RunMode::Sync),
+            "semiasync" | "semi-async" | "async" => Some(RunMode::SemiAsync),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunMode::Sync => "sync",
+            RunMode::SemiAsync => "semiasync",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parse_round_trips() {
+        assert_eq!(RunMode::parse("sync"), Some(RunMode::Sync));
+        assert_eq!(RunMode::parse("SemiAsync"), Some(RunMode::SemiAsync));
+        assert_eq!(RunMode::parse("semi-async"), Some(RunMode::SemiAsync));
+        assert_eq!(RunMode::parse("nope"), None);
+        assert_eq!(RunMode::parse(RunMode::Sync.name()), Some(RunMode::Sync));
+    }
+}

@@ -1,0 +1,262 @@
+//! Client participation: selection strategies and straggler injection.
+//!
+//! Moved verbatim out of the monolithic engine — the RNG stream derivations
+//! (`(seed, SELECT, t)` for selection, `(seed, FA11, t)` for failures) are
+//! unchanged, which is what keeps the [`Synchronous`](super::Synchronous)
+//! scheduler bit-identical to the pre-runtime engine.
+
+use fedtrip_tensor::rng::Prng;
+use serde::{Deserialize, Serialize};
+
+/// How the server picks the `K` participants of each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectionStrategy {
+    /// The paper's rule: uniform sampling without replacement.
+    Uniform,
+    /// Deterministic rotation through the client list — every client
+    /// participates exactly once every `N / K` rounds (gap is constant,
+    /// which also pins FedTrip's `xi`; useful for ablations).
+    RoundRobin,
+    /// Sample proportional to local data size (without replacement) —
+    /// the "capability-aware" selection common in production FL.
+    WeightedBySamples,
+}
+
+impl SelectionStrategy {
+    /// Parse `uniform` / `roundrobin` / `weighted` (case-insensitive).
+    pub fn parse(s: &str) -> Option<SelectionStrategy> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Some(SelectionStrategy::Uniform),
+            "roundrobin" | "round-robin" => Some(SelectionStrategy::RoundRobin),
+            "weighted" | "weightedbysamples" => Some(SelectionStrategy::WeightedBySamples),
+            _ => None,
+        }
+    }
+}
+
+/// Owns *who* participates: seeded selection plus straggler injection.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    seed: u64,
+    n_clients: usize,
+    clients_per_round: usize,
+    strategy: SelectionStrategy,
+    failure_prob: f32,
+    /// Per-client sample counts (weights for `WeightedBySamples`).
+    client_sizes: Vec<usize>,
+}
+
+impl Sampler {
+    /// Build a sampler for a federation.
+    pub fn new(
+        seed: u64,
+        clients_per_round: usize,
+        strategy: SelectionStrategy,
+        failure_prob: f32,
+        client_sizes: Vec<usize>,
+    ) -> Self {
+        let n_clients = client_sizes.len();
+        assert!(n_clients > 0, "need at least one client");
+        assert!(
+            clients_per_round > 0 && clients_per_round <= n_clients,
+            "clients_per_round must be in 1..=n_clients"
+        );
+        Sampler {
+            seed,
+            n_clients,
+            clients_per_round,
+            strategy,
+            failure_prob,
+            client_sizes,
+        }
+    }
+
+    /// Pick round `t`'s participants according to the selection strategy
+    /// (sorted, distinct).
+    pub fn select(&self, t: usize) -> Vec<usize> {
+        let (n, k) = (self.n_clients, self.clients_per_round);
+        let mut sel_rng = Prng::derive(self.seed, &[0x005E_1EC7 /* "SELECT" */, t as u64]);
+        let mut selected = match self.strategy {
+            SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
+            SelectionStrategy::RoundRobin => (0..k).map(|i| ((t - 1) * k + i) % n).collect(),
+            SelectionStrategy::WeightedBySamples => weighted_draw(
+                &mut sel_rng,
+                self.client_sizes.iter().map(|&c| c as f64).collect(),
+                k,
+            ),
+        };
+        selected.sort_unstable(); // deterministic aggregation order
+        selected.dedup();
+        selected
+    }
+
+    /// Apply straggler injection: drop each selected client with the
+    /// configured probability, always keeping at least one survivor.
+    pub fn apply_failures(&self, t: usize, selected: &[usize]) -> Vec<usize> {
+        if self.failure_prob <= 0.0 {
+            return selected.to_vec();
+        }
+        let mut rng = Prng::derive(self.seed, &[0xFA_11, t as u64]);
+        let mut survivors: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|_| rng.uniform() >= self.failure_prob)
+            .collect();
+        if survivors.is_empty() {
+            // keep one deterministic survivor so the round still aggregates
+            survivors.push(selected[rng.below(selected.len())]);
+        }
+        survivors
+    }
+
+    /// Selection followed by failure injection — one round's participants.
+    pub fn participants(&self, t: usize) -> Vec<usize> {
+        self.apply_failures(t, &self.select(t))
+    }
+
+    /// Select up to `k` clients from a restricted candidate `pool` (the
+    /// semi-async re-dispatch path: only idle clients are eligible). Uses a
+    /// dedicated RNG stream tagged `(DISPATCH, t)` so it never collides with
+    /// the synchronous selection stream.
+    pub fn select_among(&self, t: usize, pool: &[usize], k: usize) -> Vec<usize> {
+        let k = k.min(pool.len());
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut rng = Prng::derive(self.seed, &[0xD15_9A7C /* "DISPATCH" */, t as u64]);
+        let mut picked: Vec<usize> = match self.strategy {
+            SelectionStrategy::Uniform => rng
+                .sample_indices(pool.len(), k)
+                .into_iter()
+                .map(|i| pool[i])
+                .collect(),
+            SelectionStrategy::RoundRobin => {
+                // rotate through the pool; dedup below collapses wrap-around
+                (0..k).map(|i| pool[((t - 1) * k + i) % pool.len()]).collect()
+            }
+            SelectionStrategy::WeightedBySamples => weighted_draw(
+                &mut rng,
+                pool.iter().map(|&c| self.client_sizes[c] as f64).collect(),
+                k,
+            )
+            .into_iter()
+            .map(|i| pool[i])
+            .collect(),
+        };
+        picked.sort_unstable();
+        picked.dedup();
+        picked
+    }
+}
+
+/// Sequential weighted draw without replacement: up to `k` distinct indices
+/// into `weights`, each draw proportional to the remaining weight mass.
+/// Stops early if the remaining mass is exhausted. Shared by the full-
+/// federation selection and the restricted semi-async redispatch so the two
+/// paths can never diverge.
+fn weighted_draw(rng: &mut Prng, mut weights: Vec<f64>, k: usize) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        let mut u = rng.uniform() as f64 * total;
+        let mut chosen = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            u -= w;
+            chosen = i;
+            if u <= 0.0 {
+                break;
+            }
+        }
+        picked.push(chosen);
+        weights[chosen] = 0.0;
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler(strategy: SelectionStrategy, failure_prob: f32) -> Sampler {
+        Sampler::new(42, 3, strategy, failure_prob, vec![10, 20, 30, 40, 50, 60])
+    }
+
+    #[test]
+    fn select_is_distinct_sorted_and_deterministic() {
+        for strategy in [
+            SelectionStrategy::Uniform,
+            SelectionStrategy::RoundRobin,
+            SelectionStrategy::WeightedBySamples,
+        ] {
+            let s = sampler(strategy, 0.0);
+            for t in 1..=8 {
+                let a = s.select(t);
+                let b = s.select(t);
+                assert_eq!(a, b, "{strategy:?} t={t}");
+                let mut sorted = a.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted, a);
+                assert!(a.iter().all(|&c| c < 6));
+            }
+        }
+    }
+
+    #[test]
+    fn failures_always_keep_a_survivor() {
+        let s = sampler(SelectionStrategy::Uniform, 1.0);
+        for t in 1..=8 {
+            let sel = s.select(t);
+            let surv = s.apply_failures(t, &sel);
+            assert_eq!(surv.len(), 1);
+            assert!(sel.contains(&surv[0]));
+        }
+    }
+
+    #[test]
+    fn select_among_stays_in_pool() {
+        for strategy in [
+            SelectionStrategy::Uniform,
+            SelectionStrategy::RoundRobin,
+            SelectionStrategy::WeightedBySamples,
+        ] {
+            let s = sampler(strategy, 0.0);
+            let pool = [1usize, 3, 5];
+            for t in 1..=8 {
+                let picked = s.select_among(t, &pool, 2);
+                assert!(!picked.is_empty(), "{strategy:?}");
+                assert!(picked.len() <= 2);
+                assert!(picked.iter().all(|c| pool.contains(c)), "{picked:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_among_empty_pool_is_empty() {
+        let s = sampler(SelectionStrategy::Uniform, 0.0);
+        assert!(s.select_among(1, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(
+            SelectionStrategy::parse("uniform"),
+            Some(SelectionStrategy::Uniform)
+        );
+        assert_eq!(
+            SelectionStrategy::parse("RoundRobin"),
+            Some(SelectionStrategy::RoundRobin)
+        );
+        assert_eq!(
+            SelectionStrategy::parse("weighted"),
+            Some(SelectionStrategy::WeightedBySamples)
+        );
+        assert_eq!(SelectionStrategy::parse("x"), None);
+    }
+}

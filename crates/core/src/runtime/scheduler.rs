@@ -1,0 +1,319 @@
+//! Aggregation scheduling: *when* client results fold into the global model.
+//!
+//! [`Synchronous`] is the paper's barriered round loop (§III-A), moved out
+//! of the monolithic engine without changing a single RNG derivation or
+//! float operation — a golden regression test
+//! (`crates/core/tests/golden_sync.rs`) pins it bit-for-bit against records
+//! captured from the pre-runtime engine.
+//!
+//! [`SemiAsync`] is a FedBuff-style buffered aggregator (Nguyen et al.,
+//! *Federated Learning with Buffered Asynchronous Aggregation*): clients
+//! train continuously; the server folds the first `B` arrivals by virtual
+//! completion time, discounting an update that trained against a global
+//! model `s` versions old by `1 / (1 + s)^a`. Under heterogeneous device
+//! profiles this trades some statistical efficiency per fold for not
+//! waiting on stragglers, which lowers the virtual wall-clock to a target
+//! accuracy — the practicality concern FedTrip's resource argument targets.
+
+use super::clock::{DeviceProfile, VirtualClock};
+use super::executor::ClientExecutor;
+use super::sampler::Sampler;
+use crate::algorithms::{Algorithm, ClientState, LocalOutcome};
+use serde::{Deserialize, Serialize};
+
+/// Staleness-discounted aggregation weight `1 / (1 + s)^a`.
+///
+/// Positive for every `s`, monotone non-increasing in `s` (strictly
+/// decreasing for `a > 0`), and exactly `1` for fresh updates (`s = 0`) or
+/// a disabled discount (`a = 0`).
+pub fn staleness_weight(staleness: usize, exponent: f32) -> f64 {
+    (1.0 + staleness as f64).powf(-(exponent as f64))
+}
+
+/// Everything a scheduler may touch during one server step, borrowed from
+/// the engine. Fields are split borrows of the [`Simulation`]
+/// (`crate::engine::Simulation`) so the scheduler itself stays free of
+/// engine internals.
+pub struct RuntimeCtx<'a> {
+    /// Local-training fan-out.
+    pub exec: ClientExecutor<'a>,
+    /// Participation (selection + failure injection).
+    pub sampler: &'a Sampler,
+    /// Per-client device capabilities.
+    pub profiles: &'a [DeviceProfile],
+    /// The federated method.
+    pub algorithm: &'a dyn Algorithm,
+    /// Virtual wall-clock (advanced by the scheduler).
+    pub clock: &'a mut VirtualClock,
+    /// Global parameters at step start.
+    pub global: &'a [f32],
+    /// Per-client persistent states.
+    pub states: &'a mut [ClientState],
+    /// Bytes one client exchanges with the server per round
+    /// (`2|w|` + method extras), for link-time accounting.
+    pub comm_bytes_per_client: f64,
+}
+
+/// What one server step folded.
+pub struct StepOutput {
+    /// Outcomes to aggregate, in fold order (selection order for
+    /// [`Synchronous`], virtual-arrival order for [`SemiAsync`]), with
+    /// `staleness` / `agg_weight` already assigned.
+    pub folded: Vec<LocalOutcome>,
+    /// The clients behind `folded`, in the same order.
+    pub participants: Vec<usize>,
+}
+
+/// Serializable scheduler position for checkpointing.
+///
+/// [`Synchronous`] is stateless and exports the default (empty) state;
+/// [`SemiAsync`] carries its fold counter plus the in-flight and buffered
+/// jobs so a restored run replays bit-identically.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SchedulerState {
+    /// Completed folds (the global model's version).
+    pub version: usize,
+    /// Jobs still training, with precomputed outcomes and finish times.
+    pub in_flight: Vec<Job>,
+    /// Arrivals awaiting the next fold.
+    pub buffer: Vec<Job>,
+}
+
+/// One dispatched client: where it started and when it will report back.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Job {
+    /// The client index.
+    pub client: usize,
+    /// Global-model version the client trained against.
+    pub dispatch_version: usize,
+    /// Virtual instant the result arrives at the server.
+    pub finish: f64,
+    /// The training result (computed eagerly at dispatch — training is a
+    /// pure function of the dispatch-time global model and client state).
+    pub outcome: LocalOutcome,
+}
+
+/// Owns *when* client results fold into the global model.
+pub trait Scheduler: Send {
+    /// Scheduler name (for logs and reports).
+    fn name(&self) -> &'static str;
+
+    /// Execute one server step: train / collect arrivals, advance the
+    /// virtual clock, and return the outcomes the engine should fold.
+    fn step(&mut self, t: usize, rt: &mut RuntimeCtx<'_>) -> StepOutput;
+
+    /// Export checkpointable state (stateless schedulers return the
+    /// default).
+    fn export_state(&self) -> SchedulerState {
+        SchedulerState::default()
+    }
+
+    /// Restore state previously produced by [`Scheduler::export_state`].
+    fn restore_state(&mut self, _state: SchedulerState) {}
+}
+
+/// The paper's synchronous round loop: select, train everyone, wait for the
+/// slowest participant (barrier), fold all outcomes at once.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Synchronous;
+
+impl Scheduler for Synchronous {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn step(&mut self, t: usize, rt: &mut RuntimeCtx<'_>) -> StepOutput {
+        let selected = rt.sampler.participants(t);
+        let folded = rt
+            .exec
+            .train_batch(rt.algorithm, rt.global, rt.states, &selected, t);
+        // barrier: the round takes as long as its slowest participant
+        let dt = folded
+            .iter()
+            .zip(&selected)
+            .map(|(o, &c)| rt.profiles[c].duration(o.train_flops, rt.comm_bytes_per_client))
+            .fold(0.0f64, f64::max);
+        rt.clock.advance_by(dt);
+        StepOutput {
+            folded,
+            participants: selected,
+        }
+    }
+}
+
+/// FedBuff-style buffered semi-asynchronous aggregation.
+///
+/// Keeps `clients_per_round` clients training at all times. Each server
+/// step tops the in-flight pool back up from the idle clients (new
+/// dispatches train against the *current* global model), then pops arrivals
+/// in virtual-completion order until `buffer_size` results are buffered,
+/// and folds them with staleness-discounted weights. One engine round ==
+/// one fold, so `RoundRecord`s keep their meaning across modes.
+///
+/// **Caveat for server-stateful corrections:** the staleness discount is
+/// exact for the parameter average every method funnels through
+/// (`weighted_param_average`), but methods whose `server_update` also
+/// interprets outcomes *relative to the current global* — FedDyn's `h`
+/// drift, SCAFFOLD's control-variate delta, MimeLite's momentum statistics
+/// — see the fold-time global rather than the (older) model a stale client
+/// actually trained from. Under staleness those corrections absorb the
+/// server's own inter-fold movement: a modeling approximation inherent to
+/// running sync-designed corrections asynchronously (an exact treatment
+/// would need a per-job global snapshot at dispatch). All eight methods
+/// run and converge; interpret their server-state dynamics under high
+/// staleness with this in mind.
+#[derive(Debug, Clone)]
+pub struct SemiAsync {
+    buffer_size: usize,
+    staleness_exponent: f32,
+    state: SchedulerState,
+}
+
+impl SemiAsync {
+    /// Create a semi-async scheduler folding `buffer_size` arrivals per
+    /// step with discount exponent `staleness_exponent`.
+    ///
+    /// # Panics
+    /// Panics when `buffer_size == 0` or the exponent is negative.
+    pub fn new(buffer_size: usize, staleness_exponent: f32) -> Self {
+        assert!(buffer_size > 0, "buffer_size must be positive");
+        assert!(
+            staleness_exponent >= 0.0,
+            "staleness exponent must be non-negative"
+        );
+        SemiAsync {
+            buffer_size,
+            staleness_exponent,
+            state: SchedulerState::default(),
+        }
+    }
+
+    /// Dispatch `batch` at the current clock against the current global.
+    fn dispatch(&mut self, t: usize, rt: &mut RuntimeCtx<'_>, batch: &[usize]) {
+        if batch.is_empty() {
+            return;
+        }
+        let outcomes = rt
+            .exec
+            .train_batch(rt.algorithm, rt.global, rt.states, batch, t);
+        for (outcome, &client) in outcomes.into_iter().zip(batch) {
+            let duration =
+                rt.profiles[client].duration(outcome.train_flops, rt.comm_bytes_per_client);
+            self.state.in_flight.push(Job {
+                client,
+                dispatch_version: self.state.version,
+                finish: rt.clock.now() + duration,
+                outcome,
+            });
+        }
+    }
+
+    /// Index of the next arrival: earliest finish time, ties broken by
+    /// client index (both deterministic), so pop order never depends on
+    /// container order.
+    fn next_arrival(&self) -> Option<usize> {
+        self.state
+            .in_flight
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.finish
+                    .partial_cmp(&b.finish)
+                    .expect("finite finish times")
+                    .then(a.client.cmp(&b.client))
+            })
+            .map(|(i, _)| i)
+    }
+}
+
+impl Scheduler for SemiAsync {
+    fn name(&self) -> &'static str {
+        "semiasync"
+    }
+
+    fn step(&mut self, t: usize, rt: &mut RuntimeCtx<'_>) -> StepOutput {
+        // 1. top the in-flight pool back up from idle clients; the initial
+        //    cohort (t = 1) is just the degenerate case of an empty pool.
+        let desired = rt.exec.cfg.clients_per_round;
+        let deficit = desired.saturating_sub(self.state.in_flight.len());
+        if deficit > 0 {
+            let idle: Vec<usize> = {
+                let mut busy = vec![false; rt.states.len()];
+                for j in &self.state.in_flight {
+                    busy[j.client] = true;
+                }
+                (0..rt.states.len()).filter(|&c| !busy[c]).collect()
+            };
+            let picked = rt.sampler.select_among(t, &idle, deficit);
+            if !picked.is_empty() {
+                let batch = rt.sampler.apply_failures(t, &picked);
+                self.dispatch(t, rt, &batch);
+            }
+        }
+
+        // 2. collect arrivals in virtual-completion order until the buffer
+        //    holds B results (or nothing is left in flight).
+        while self.state.buffer.len() < self.buffer_size && !self.state.in_flight.is_empty() {
+            let idx = self.next_arrival().expect("in_flight non-empty");
+            let job = self.state.in_flight.swap_remove(idx);
+            rt.clock.advance_to(job.finish);
+            self.state.buffer.push(job);
+        }
+
+        // 3. fold: assign staleness relative to the current version.
+        let mut folded = Vec::with_capacity(self.state.buffer.len());
+        let mut participants = Vec::with_capacity(self.state.buffer.len());
+        for mut job in self.state.buffer.drain(..) {
+            let staleness = self.state.version - job.dispatch_version;
+            job.outcome.staleness = staleness;
+            job.outcome.agg_weight = staleness_weight(staleness, self.staleness_exponent);
+            participants.push(job.client);
+            folded.push(job.outcome);
+        }
+        self.state.version += 1;
+        StepOutput {
+            folded,
+            participants,
+        }
+    }
+
+    fn export_state(&self) -> SchedulerState {
+        self.state.clone()
+    }
+
+    fn restore_state(&mut self, state: SchedulerState) {
+        self.state = state;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staleness_weight_is_positive_and_decreasing() {
+        let mut prev = f64::INFINITY;
+        for s in 0..50 {
+            let w = staleness_weight(s, 0.5);
+            assert!(w > 0.0);
+            assert!(w < prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn fresh_updates_are_undiscounted() {
+        for a in [0.0f32, 0.5, 1.0, 3.0] {
+            assert_eq!(staleness_weight(0, a), 1.0);
+        }
+        for s in 0..20 {
+            assert_eq!(staleness_weight(s, 0.0), 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer_size")]
+    fn semiasync_rejects_empty_buffer() {
+        let _ = SemiAsync::new(0, 0.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the runtime layer: staleness-discount weights
+//! (positive, monotone-decreasing, sum-preserving at aggregation) and
+//! seed-derived device profiles (deterministic, bounded).
+
+use fedtrip_core::algorithms::{weighted_param_average, LocalOutcome};
+use fedtrip_core::runtime::{staleness_weight, DeviceProfile};
+use proptest::prelude::*;
+
+fn outcome(params: Vec<f32>, n_samples: usize, staleness: usize, exponent: f32) -> LocalOutcome {
+    LocalOutcome {
+        params,
+        n_samples,
+        mean_loss: 0.0,
+        iterations: 1,
+        train_flops: 0.0,
+        aux: None,
+        staleness,
+        agg_weight: staleness_weight(staleness, exponent),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `1 / (1 + s)^a` is strictly positive for any staleness/exponent.
+    #[test]
+    fn staleness_weights_are_positive(s in 0usize..10_000, a in 0.0f32..8.0) {
+        prop_assert!(staleness_weight(s, a) > 0.0);
+    }
+
+    /// Weights are monotone non-increasing in staleness (strictly
+    /// decreasing for a positive exponent).
+    #[test]
+    fn staleness_weights_decrease_with_staleness(s in 0usize..1_000, a in 0.01f32..8.0) {
+        let fresh = staleness_weight(s, a);
+        let staler = staleness_weight(s + 1, a);
+        prop_assert!(staler < fresh, "w({s})={fresh} w({})={staler}", s + 1);
+        prop_assert!(fresh <= 1.0);
+    }
+
+    /// Aggregation is sum-preserving: the discounted weights are
+    /// renormalized to sum to 1, so averaging copies of the same constant
+    /// vector returns that constant regardless of staleness pattern.
+    #[test]
+    fn staleness_discounted_aggregation_preserves_weight_sum(
+        c in -5.0f32..5.0,
+        samples in prop::collection::vec(1usize..500, 1..6),
+        staleness in prop::collection::vec(0usize..20, 6),
+        a in 0.0f32..4.0,
+    ) {
+        let outcomes: Vec<LocalOutcome> = samples
+            .iter()
+            .zip(&staleness)
+            .map(|(&n, &s)| outcome(vec![c, -c, 0.5 * c], n, s, a))
+            .collect();
+        let avg = weighted_param_average(&outcomes);
+        for (got, want) in avg.iter().zip([c, -c, 0.5 * c]) {
+            prop_assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    /// Explicit weight-sum check: the normalized effective weights used by
+    /// the average sum to exactly 1 (within float tolerance).
+    #[test]
+    fn normalized_weights_sum_to_one(
+        samples in prop::collection::vec(1usize..500, 1..8),
+        staleness in prop::collection::vec(0usize..20, 8),
+        a in 0.0f32..4.0,
+    ) {
+        let raw: Vec<f64> = samples
+            .iter()
+            .zip(&staleness)
+            .map(|(&n, &s)| n as f64 * staleness_weight(s, a))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        let sum: f64 = raw.iter().map(|w| w / total).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-12, "weight sum {sum}");
+    }
+
+    /// Device profiles are pure functions of (seed, client, spread) and
+    /// bounded by the spread.
+    #[test]
+    fn device_profiles_deterministic_and_bounded(
+        seed in 0u64..1_000,
+        client in 0usize..64,
+        spread in 1.0f64..16.0,
+    ) {
+        let a = DeviceProfile::derive(seed, client, spread);
+        let b = DeviceProfile::derive(seed, client, spread);
+        prop_assert_eq!(a, b);
+        prop_assert!(a.compute_multiplier >= 1.0 && a.compute_multiplier < spread.max(1.0 + 1e-9));
+        prop_assert!(a.bandwidth_bytes_per_sec > 0.0);
+        // more work never takes less virtual time
+        prop_assert!(a.duration(2e9, 1e6) > a.duration(1e9, 1e6));
+    }
+}

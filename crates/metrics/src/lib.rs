@@ -4,7 +4,8 @@
 //!
 //! * [`stats`] — exponential moving averages (the smoothing applied to the
 //!   paper's Fig. 5 curves), five-number boxplot summaries (Fig. 6),
-//!   mean/variance helpers (Fig. 7's circle radii).
+//!   mean/variance helpers (Fig. 7's circle radii), and the
+//!   time-to-target-accuracy metric for virtual-clock runtimes.
 //! * [`tsne`] — an exact O(n²) t-SNE implementation for the Fig. 2 feature
 //!   visualizations.
 //! * [`report`] — fixed-width/markdown table rendering and JSON artifact
@@ -16,5 +17,5 @@ pub mod stats;
 pub mod tsne;
 
 pub use report::Table;
-pub use stats::{ema, quantile, BoxplotSummary, Summary};
+pub use stats::{ema, quantile, time_to_target, BoxplotSummary, Summary};
 pub use tsne::{Tsne, TsneConfig};

@@ -23,6 +23,29 @@ pub fn ema(xs: &[f64], alpha: f64) -> Vec<f64> {
     out
 }
 
+/// Time-to-target: the first entry of `times` whose paired `values` entry
+/// reaches `target`, or `None` when the series never gets there.
+///
+/// The companion of the paper's rounds-to-target-accuracy metric for
+/// runtimes with a virtual wall-clock: pass per-round virtual timestamps and
+/// evaluated accuracies to get the virtual seconds a scheduler needed to hit
+/// a target accuracy.
+///
+/// # Panics
+/// Panics when `times` and `values` have different lengths.
+pub fn time_to_target(times: &[f64], values: &[f64], target: f64) -> Option<f64> {
+    assert_eq!(
+        times.len(),
+        values.len(),
+        "times/values length mismatch"
+    );
+    times
+        .iter()
+        .zip(values)
+        .find(|(_, &v)| v >= target)
+        .map(|(&t, _)| t)
+}
+
 /// Linear-interpolation quantile (`q` in `[0, 1]`) of an unsorted slice.
 ///
 /// # Panics
@@ -157,6 +180,22 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn ema_rejects_zero_alpha() {
         let _ = ema(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn time_to_target_finds_first_crossing() {
+        let times = [1.0, 2.0, 3.0, 4.0];
+        let accs = [0.1, 0.3, 0.25, 0.5];
+        assert_eq!(time_to_target(&times, &accs, 0.3), Some(2.0));
+        assert_eq!(time_to_target(&times, &accs, 0.05), Some(1.0));
+        assert_eq!(time_to_target(&times, &accs, 0.9), None);
+        assert_eq!(time_to_target(&[], &[], 0.1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn time_to_target_rejects_ragged_input() {
+        let _ = time_to_target(&[1.0], &[], 0.1);
     }
 
     #[test]

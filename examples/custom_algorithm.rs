@@ -61,6 +61,8 @@ impl Algorithm for FedTripDecay {
             train_flops: model_train_flops(net, samples)
                 + 4.0 * iterations as f64 * net.num_params() as f64,
             aux: None,
+            staleness: 0,
+            agg_weight: 1.0,
         }
     }
 

@@ -15,6 +15,8 @@ fn outcome(params: Vec<f32>, n: usize) -> LocalOutcome {
         iterations: 1,
         train_flops: 0.0,
         aux: None,
+        staleness: 0,
+        agg_weight: 1.0,
     }
 }
 
