@@ -36,7 +36,7 @@ fn bench_algorithms(c: &mut Criterion) {
                 let mut state = ClientState {
                     last_round: Some(1),
                     historical: Some(global.clone()),
-                    correction: None,
+                    ..ClientState::default()
                 };
                 let ctx = LocalContext {
                     round: 2,

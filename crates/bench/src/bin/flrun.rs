@@ -9,10 +9,13 @@
 //!
 //! Prints the accuracy trajectory and summary; optionally checkpoints the
 //! finished run so it can be extended later with `--resume run.json
-//! --rounds N`.
+//! --rounds N`. Upload compression is `--compress q8|q4|topk:0.01`
+//! (optionally with `--error-feedback`); the virtual clock then charges
+//! the encoded uplink bytes, visible in the `up-MB/rnd` column.
 
 use fedtrip_core::algorithms::AlgorithmKind;
 use fedtrip_core::checkpoint::Checkpoint;
+use fedtrip_core::compression::CompressionKind;
 use fedtrip_core::engine::{RunMode, SelectionStrategy, Simulation};
 use fedtrip_core::experiment::{ExperimentSpec, Scale};
 use fedtrip_data::partition::HeterogeneityKind;
@@ -30,7 +33,8 @@ fn die(msg: &str) -> ! {
          [--seed S] [--scale smoke|default|paper] \
          [--selection uniform|roundrobin|weighted] [--failure-prob P] \
          [--lr-schedule const|step:E:F|cosine:T:M] [--mode sync|semiasync] \
-         [--device-het S] [--buffer B] [--checkpoint FILE] [--resume FILE]"
+         [--device-het S] [--buffer B] [--compress none|q8|q4|topk:F] \
+         [--error-feedback] [--checkpoint FILE] [--resume FILE]"
     );
     std::process::exit(2);
 }
@@ -67,6 +71,8 @@ struct ConfigOverrides {
     mode: Option<RunMode>,
     device_het: Option<f32>,
     async_buffer: Option<usize>,
+    compression: Option<CompressionKind>,
+    error_feedback: bool,
 }
 
 impl ConfigOverrides {
@@ -77,6 +83,8 @@ impl ConfigOverrides {
             || self.mode.is_some()
             || self.device_het.is_some()
             || self.async_buffer.is_some()
+            || self.compression.is_some()
+            || self.error_feedback
     }
 }
 
@@ -188,6 +196,16 @@ fn main() {
                 overrides.async_buffer =
                     Some(val().parse().unwrap_or_else(|_| die("bad --buffer")))
             }
+            "--compress" => {
+                overrides.compression =
+                    Some(CompressionKind::parse(val()).unwrap_or_else(|| die("bad --compress")))
+            }
+            "--error-feedback" => {
+                // boolean flag: consumes no value
+                overrides.error_feedback = true;
+                i += 1;
+                continue;
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(val())),
             "--resume" => resume = Some(PathBuf::from(val())),
             other => die(&format!("unknown flag {other}")),
@@ -198,7 +216,7 @@ fn main() {
     let mut sim = match &resume {
         Some(path) => {
             if overrides.any() {
-                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer) cannot be combined with --resume; the checkpoint pins them");
+                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback) cannot be combined with --resume; the checkpoint pins them");
             }
             let ckpt = Checkpoint::load(path).unwrap_or_else(|e| die(&format!("resume: {e}")));
             println!(
@@ -235,8 +253,20 @@ fn main() {
             if let Some(b) = overrides.async_buffer {
                 cfg.async_buffer = b;
             }
+            if let Some(c) = overrides.compression {
+                if let CompressionKind::TopK(f) = c {
+                    if f > 0.5 {
+                        eprintln!(
+                            "flrun: warning: topk:{f} expands the uplink (8 bytes per kept \
+                             coordinate vs 4 dense); fractions <= 0.5 compress"
+                        );
+                    }
+                }
+                cfg.compression = c;
+            }
+            cfg.error_feedback = overrides.error_feedback;
             println!(
-                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x",
+                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{}",
                 spec.algorithm.name(),
                 spec.model.name(),
                 spec.dataset.name(),
@@ -247,6 +277,8 @@ fn main() {
                 spec.scale,
                 cfg.mode.name(),
                 cfg.device_het,
+                cfg.compression.name(),
+                if cfg.error_feedback { " +ef" } else { "" },
             );
             Simulation::new(cfg, spec.algorithm.build(&spec.hyper))
         }
@@ -255,24 +287,29 @@ fn main() {
     let t0 = std::time::Instant::now();
     sim.run();
     let records = sim.records();
-    println!("\nround  acc%    loss    cum-GFLOPs  cum-comm-MB      virt-s  staleness");
+    println!(
+        "\nround  acc%    loss    cum-GFLOPs  cum-comm-MB  up-MB/rnd      virt-s  staleness"
+    );
     let step = (records.len() / 15).max(1);
     for r in records.iter().step_by(step) {
         println!(
-            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}  {:>10.1}  {:>9.2}",
+            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}  {:>9.3}  {:>10.1}  {:>9.2}",
             r.round,
             r.accuracy.unwrap_or(f64::NAN) * 100.0,
             r.mean_loss,
             r.cum_flops / 1e9,
             r.cum_comm_bytes / 1e6,
+            r.comm_bytes_up / 1e6,
             r.virtual_time,
             r.mean_staleness,
         );
     }
+    let ratio = records.last().map(|r| r.compression_ratio).unwrap_or(1.0);
     println!(
-        "\nfinal accuracy (last 10 evals): {:.2}%   virtual: {:.1}s   wall: {:.1?}",
+        "\nfinal accuracy (last 10 evals): {:.2}%   virtual: {:.1}s   uplink ratio: {:.2}x   wall: {:.1?}",
         sim.final_accuracy(10) * 100.0,
         sim.virtual_time(),
+        ratio,
         t0.elapsed()
     );
 

@@ -69,14 +69,14 @@ fn main() {
             t.row(&[
                 kind.name().to_string(),
                 format!("{:.4}", c.flops / 1e9),
-                format!("{:.2}", c.extra_comm_bytes as f64 / 1e6),
+                format!("{:.2}", c.extra_comm_bytes() as f64 / 1e6),
                 format!("{ratio:.1}x"),
             ]);
             artifacts.push(json!({
                 "config": name,
                 "method": kind.name(),
                 "attach_flops": c.flops,
-                "extra_comm_bytes": c.extra_comm_bytes,
+                "extra_comm_bytes": c.extra_comm_bytes(),
                 "ratio_vs_fedtrip": ratio,
             }));
         }

@@ -2,9 +2,10 @@
 //!
 //! Experiment drivers for the paper's evaluation. Each table and figure has
 //! a dedicated binary (`table4_comm_rounds`, `fig5_convergence`, ...), and
-//! the runtime extension has `time_to_accuracy` (sync-barrier vs semi-async
-//! virtual wall-clock under heterogeneous device profiles); all of them
-//! share:
+//! the runtime extensions have their own: `time_to_accuracy` (sync-barrier
+//! vs semi-async virtual wall-clock under heterogeneous device profiles)
+//! and `comm_efficiency` (upload codec × device spread, scored by virtual
+//! seconds to an adaptive accuracy target); all of them share:
 //!
 //! * [`Cli`] — a tiny flag parser (`--scale smoke|default|paper`,
 //!   `--trials N`, `--seed S`, `--results DIR`),

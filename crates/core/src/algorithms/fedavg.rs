@@ -70,7 +70,7 @@ mod tests {
         let h = Harness::new(1);
         let c = FedAvg::new().attach_cost(&h.cost_model());
         assert_eq!(c.flops, 0.0);
-        assert_eq!(c.extra_comm_bytes, 0);
+        assert_eq!(c.extra_comm_bytes(), 0);
     }
 
     #[test]

@@ -117,7 +117,7 @@ mod tests {
             c.flops,
             2.0 * m.local_iterations as f64 * m.n_params as f64
         );
-        assert_eq!(c.extra_comm_bytes, 0);
+        assert_eq!(c.extra_comm_bytes(), 0);
     }
 
     #[test]

@@ -322,7 +322,7 @@ mod tests {
         let m = h.cost_model();
         let c = trip(0.4).attach_cost(&m);
         assert_eq!(c.flops, 4.0 * m.local_iterations as f64 * m.n_params as f64);
-        assert_eq!(c.extra_comm_bytes, 0);
+        assert_eq!(c.extra_comm_bytes(), 0);
     }
 
     #[test]

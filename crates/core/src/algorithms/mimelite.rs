@@ -238,6 +238,8 @@ mod tests {
             c.flops,
             m.local_samples as f64 * (m.fp_per_sample + m.bp_per_sample) as f64
         );
-        assert_eq!(c.extra_comm_bytes, 2 * m.n_params * 4);
+        assert_eq!(c.extra_comm_bytes(), 2 * m.n_params * 4);
+        assert_eq!(c.up_params, m.n_params);
+        assert_eq!(c.down_params, m.n_params);
     }
 }

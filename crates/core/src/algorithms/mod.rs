@@ -93,6 +93,11 @@ pub struct ClientState {
     pub historical: Option<Vec<f32>>,
     /// Per-client correction state (FedDyn `h_k`, SCAFFOLD `c_k`).
     pub correction: Option<Vec<f32>>,
+    /// Error-feedback residual: the part of this client's last
+    /// (compensated) upload the compression codec dropped, retransmitted
+    /// on the next participation. `None` until the client first uploads
+    /// under a lossy codec with error feedback enabled.
+    pub residual: Option<Vec<f32>>,
 }
 
 /// What a client sends back to the server after local training.

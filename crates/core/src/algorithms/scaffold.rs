@@ -200,7 +200,9 @@ mod tests {
         let h = Harness::new(53);
         let m = h.cost_model();
         let c = Scaffold::new().attach_cost(&m);
-        assert_eq!(c.extra_comm_bytes, 2 * m.n_params * 4);
+        assert_eq!(c.extra_comm_bytes(), 2 * m.n_params * 4);
+        assert_eq!(c.up_params, m.n_params);
+        assert_eq!(c.down_params, m.n_params);
     }
 
     #[test]

@@ -169,6 +169,6 @@ mod tests {
         let h = Harness::new(32);
         let c = SlowMo::new(0.5, 1.0).attach_cost(&h.cost_model());
         assert_eq!(c.flops, 0.0);
-        assert_eq!(c.extra_comm_bytes, 0);
+        assert_eq!(c.extra_comm_bytes(), 0);
     }
 }

@@ -16,10 +16,14 @@ use std::io;
 use std::path::Path;
 
 /// Current snapshot format version. Bumped to 2 when the runtime split
-/// added the virtual clock and scheduler (in-flight/buffer) state; version-1
-/// snapshots predate those fields and cannot be resumed faithfully, so
-/// [`Checkpoint::load`] rejects any other version with a clear error.
-pub const CHECKPOINT_VERSION: u32 = 2;
+/// added the virtual clock and scheduler (in-flight/buffer) state, and to 3
+/// when the compression subsystem added the codec/error-feedback config
+/// fields and per-client error-feedback residuals. Older snapshots predate
+/// those fields and cannot be resumed faithfully, so [`Checkpoint::load`]
+/// rejects any other version with a clear error (the version is checked
+/// *before* full deserialization, so a foreign snapshot reports its version
+/// instead of a confusing missing-field error).
+pub const CHECKPOINT_VERSION: u32 = 3;
 
 /// A serialized simulation snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -106,17 +110,24 @@ impl Checkpoint {
     /// the field entirely).
     pub fn load(path: &Path) -> io::Result<Checkpoint> {
         let body = fs::read_to_string(path)?;
-        let ckpt: Checkpoint = serde_json::from_str(&body)
+        // check the version off the raw JSON first: a snapshot from another
+        // format version should report that version, not whatever
+        // missing-field error full deserialization happens to hit first
+        let value: serde_json::Value = serde_json::from_str(&body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        if ckpt.version != CHECKPOINT_VERSION {
+        let version = value.get("version").and_then(|v| v.as_u64());
+        if version != Some(CHECKPOINT_VERSION as u64) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
                     "checkpoint format version {} unsupported (expected {})",
-                    ckpt.version, CHECKPOINT_VERSION
+                    version.map(|v| v.to_string()).unwrap_or_else(|| "<missing>".into()),
+                    CHECKPOINT_VERSION
                 ),
             ));
         }
+        let ckpt: Checkpoint = serde::Deserialize::from_value(&value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(ckpt)
     }
 }
@@ -145,14 +156,14 @@ mod tests {
         }
     }
 
-    fn resume_equals_straight(kind: AlgorithmKind) {
+    fn resume_equals_straight_cfg(config: SimulationConfig, kind: AlgorithmKind) {
         let hyper = HyperParams::default();
         // straight run: 8 rounds
-        let mut straight = Simulation::new(cfg(31), kind.build(&hyper));
+        let mut straight = Simulation::new(config, kind.build(&hyper));
         straight.run();
 
         // split run: 4 rounds, checkpoint, restore, 4 more
-        let mut first = Simulation::new(cfg(31), kind.build(&hyper));
+        let mut first = Simulation::new(config, kind.build(&hyper));
         for _ in 0..4 {
             first.run_round();
         }
@@ -169,6 +180,10 @@ mod tests {
         assert_eq!(straight.records().len(), resumed.records().len());
     }
 
+    fn resume_equals_straight(kind: AlgorithmKind) {
+        resume_equals_straight_cfg(cfg(31), kind);
+    }
+
     #[test]
     fn resume_is_bit_identical_stateless_method() {
         resume_equals_straight(AlgorithmKind::FedTrip);
@@ -181,6 +196,45 @@ mod tests {
         resume_equals_straight(AlgorithmKind::FedDyn);
         resume_equals_straight(AlgorithmKind::Scaffold);
         resume_equals_straight(AlgorithmKind::MimeLite);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_under_compression_with_error_feedback() {
+        use crate::compression::CompressionKind;
+        // top-k exercises the residual state hardest: most of each update
+        // is dropped and must survive the JSON round trip exactly
+        let mut c = cfg(35);
+        c.compression = CompressionKind::TopK(0.25);
+        c.error_feedback = true;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedTrip);
+        let mut c = cfg(36);
+        c.compression = CompressionKind::Q8;
+        c.error_feedback = true;
+        c.mode = crate::runtime::RunMode::SemiAsync;
+        c.device_het = 4.0;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedAvg);
+    }
+
+    #[test]
+    fn checkpoint_carries_error_feedback_residuals() {
+        use crate::compression::CompressionKind;
+        let hyper = HyperParams::default();
+        let mut c = cfg(37);
+        c.compression = CompressionKind::TopK(0.1);
+        c.error_feedback = true;
+        let mut sim = Simulation::new(c, AlgorithmKind::FedAvg.build(&hyper));
+        for _ in 0..3 {
+            sim.run_round();
+        }
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        assert!(
+            ckpt.states.iter().any(|s| s.residual.is_some()),
+            "no residual captured"
+        );
+        let restored = ckpt.restore();
+        for (a, b) in ckpt.states.iter().zip(restored.client_states()) {
+            assert_eq!(a.residual, b.residual);
+        }
     }
 
     #[test]

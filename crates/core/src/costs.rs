@@ -49,28 +49,48 @@ impl CostModel {
 }
 
 /// Per-round, per-client overhead of a method's attaching operations.
+///
+/// Communication overhead is kept as directed *value counts* rather than
+/// bytes: the client→server half rides the same uplink as the model update
+/// and is therefore subject to the configured upload codec
+/// ([`crate::compression`]), while the server→client half stays dense f32.
+/// [`AttachCost::extra_comm_bytes`] gives the uncompressed byte total the
+/// paper's Table VIII reports.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AttachCost {
     /// Extra computation (FLOPs) per client per round.
     pub flops: f64,
-    /// Extra communication (bytes, up + down combined) per client per round,
-    /// beyond the `2|w|` parameters every method already exchanges.
-    pub extra_comm_bytes: usize,
+    /// Extra f32 values *uploaded* (client→server) per round, beyond the
+    /// `|w|` model parameters every method already sends (e.g. SCAFFOLD's
+    /// control-variate delta).
+    pub up_params: usize,
+    /// Extra f32 values *downloaded* (server→client) per round, beyond the
+    /// `|w|` model parameters every method already receives (e.g.
+    /// MimeLite's server statistics).
+    pub down_params: usize,
 }
 
 impl AttachCost {
     /// No overhead (FedAvg baseline).
     pub const ZERO: AttachCost = AttachCost {
         flops: 0.0,
-        extra_comm_bytes: 0,
+        up_params: 0,
+        down_params: 0,
     };
+
+    /// Uncompressed extra communication in bytes (up + down combined) per
+    /// client per round — the paper's Table VIII quantity. The engine
+    /// instead routes [`AttachCost::up_params`] through the configured
+    /// codec's `encoded_len`, so clock and cost tables agree when
+    /// compression is off and diverge exactly by the codec ratio when on.
+    pub fn extra_comm_bytes(&self) -> usize {
+        (self.up_params + self.down_params) * std::mem::size_of::<f32>()
+    }
 }
 
 /// Appendix-A Table VIII rows, as functions of the cost model.
 pub mod formulas {
     use super::{AttachCost, CostModel};
-
-    const F32: usize = std::mem::size_of::<f32>();
 
     /// FedAvg: no attaching operations.
     pub fn fedavg(_m: &CostModel) -> AttachCost {
@@ -81,7 +101,7 @@ pub mod formulas {
     pub fn fedprox(m: &CostModel) -> AttachCost {
         AttachCost {
             flops: 2.0 * m.kw(),
-            extra_comm_bytes: 0,
+            ..AttachCost::ZERO
         }
     }
 
@@ -90,7 +110,7 @@ pub mod formulas {
     pub fn fedtrip(m: &CostModel) -> AttachCost {
         AttachCost {
             flops: 4.0 * m.kw(),
-            extra_comm_bytes: 0,
+            ..AttachCost::ZERO
         }
     }
 
@@ -98,7 +118,7 @@ pub mod formulas {
     pub fn feddyn(m: &CostModel) -> AttachCost {
         AttachCost {
             flops: 4.0 * m.kw(),
-            extra_comm_bytes: 0,
+            ..AttachCost::ZERO
         }
     }
 
@@ -110,7 +130,7 @@ pub mod formulas {
                 * m.batch_size as f64
                 * (1 + p_history) as f64
                 * m.fp_per_sample as f64,
-            extra_comm_bytes: 0,
+            ..AttachCost::ZERO
         }
     }
 
@@ -121,12 +141,14 @@ pub mod formulas {
 
     /// SCAFFOLD: `2 (K + 1) |w|` control-variate arithmetic plus a
     /// full-batch gradient `n (FP + BP)`, and `2 |w|` extra communication
-    /// (control variates travel both ways).
+    /// (control variates travel both ways: the server's `c` down, the
+    /// client's control-variate delta up).
     pub fn scaffold(m: &CostModel) -> AttachCost {
         AttachCost {
             flops: 2.0 * (m.local_iterations + 1) as f64 * m.n_params as f64
                 + m.local_samples as f64 * (m.fp_per_sample + m.bp_per_sample) as f64,
-            extra_comm_bytes: 2 * m.n_params * F32,
+            up_params: m.n_params,
+            down_params: m.n_params,
         }
     }
 
@@ -136,7 +158,8 @@ pub mod formulas {
     pub fn mimelite(m: &CostModel) -> AttachCost {
         AttachCost {
             flops: m.local_samples as f64 * (m.fp_per_sample + m.bp_per_sample) as f64,
-            extra_comm_bytes: 2 * m.n_params * F32,
+            up_params: m.n_params,
+            down_params: m.n_params,
         }
     }
 }
@@ -211,14 +234,17 @@ mod tests {
     #[test]
     fn only_scaffold_and_mimelite_add_communication() {
         let m = cnn_like();
-        assert_eq!(fedavg(&m).extra_comm_bytes, 0);
-        assert_eq!(fedprox(&m).extra_comm_bytes, 0);
-        assert_eq!(fedtrip(&m).extra_comm_bytes, 0);
-        assert_eq!(feddyn(&m).extra_comm_bytes, 0);
-        assert_eq!(moon(&m, 1).extra_comm_bytes, 0);
-        assert_eq!(slowmo(&m).extra_comm_bytes, 0);
-        assert_eq!(scaffold(&m).extra_comm_bytes, 2 * m.n_params * 4);
-        assert_eq!(mimelite(&m).extra_comm_bytes, 2 * m.n_params * 4);
+        assert_eq!(fedavg(&m).extra_comm_bytes(), 0);
+        assert_eq!(fedprox(&m).extra_comm_bytes(), 0);
+        assert_eq!(fedtrip(&m).extra_comm_bytes(), 0);
+        assert_eq!(feddyn(&m).extra_comm_bytes(), 0);
+        assert_eq!(moon(&m, 1).extra_comm_bytes(), 0);
+        assert_eq!(slowmo(&m).extra_comm_bytes(), 0);
+        assert_eq!(scaffold(&m).extra_comm_bytes(), 2 * m.n_params * 4);
+        assert_eq!(mimelite(&m).extra_comm_bytes(), 2 * m.n_params * 4);
+        // the uplink half is what the upload codec sees
+        assert_eq!(scaffold(&m).up_params, m.n_params);
+        assert_eq!(mimelite(&m).down_params, m.n_params);
     }
 
     #[test]

@@ -18,12 +18,19 @@
 //!   per-iteration "attaching operation" FLOPs and communication overhead of
 //!   every method, composed with model forward/backward FLOPs to reproduce
 //!   Tables V and VIII.
+//! * [`compression`] — client-upload codecs (8/4-bit affine quantization,
+//!   top-k sparsification) with exact encoded-byte accounting and optional
+//!   error feedback; the engine charges the compressed bytes to the virtual
+//!   clock so codecs trade accuracy-per-round against seconds-per-round.
 //! * [`experiment`] — declarative experiment specs with `smoke` / `default` /
 //!   `paper` scales, shared by the examples, the integration tests and every
 //!   table/figure binary in `fedtrip-bench`.
 
+#![warn(missing_docs)]
+
 pub mod algorithms;
 pub mod checkpoint;
+pub mod compression;
 pub mod costs;
 pub mod engine;
 pub mod experiment;
@@ -31,6 +38,7 @@ pub mod runtime;
 
 pub use algorithms::{Algorithm, AlgorithmKind, HyperParams};
 pub use checkpoint::Checkpoint;
+pub use compression::{CompressionKind, Compressor};
 pub use costs::{AttachCost, CostModel};
 pub use engine::{RoundRecord, RunMode, SelectionStrategy, Simulation, SimulationConfig};
 pub use experiment::{ExperimentSpec, Scale};

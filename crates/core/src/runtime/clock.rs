@@ -6,6 +6,22 @@
 //! exchanged with the server) divided by its device capability. Profiles are
 //! derived deterministically from the master seed, so heterogeneous-device
 //! runs stay bit-reproducible.
+//!
+//! ```
+//! use fedtrip_core::runtime::{DeviceProfile, VirtualClock};
+//!
+//! // a 4x speed spread: every profile lands in [1, 4)x of the reference
+//! let profiles = DeviceProfile::federation(2023, 8, 4.0);
+//! assert!(profiles.iter().all(|p| (1.0..4.0).contains(&p.compute_multiplier)));
+//!
+//! // a round that computes 1 GFLOP and ships 4 MB takes 2 virtual seconds
+//! // on the reference device; the clock only ever moves forward
+//! let mut clock = VirtualClock::new();
+//! clock.advance_by(DeviceProfile::homogeneous().duration(1e9, 4e6));
+//! assert!((clock.now() - 2.0).abs() < 1e-12);
+//! clock.advance_to(1.0); // in the past: ignored
+//! assert_eq!(clock.now(), 2.0);
+//! ```
 
 use fedtrip_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};

@@ -5,13 +5,60 @@
 //! order the clients were passed in, and every client derives its own RNG
 //! stream from `(seed, round, client)`, so thread scheduling can never
 //! change results. This is the pre-runtime engine's round body, moved
-//! verbatim so both schedulers share one code path.
+//! verbatim so both schedulers share one code path. The executor is also
+//! where the upload codec ([`crate::compression`]) bites: each outcome's
+//! parameters are encoded/decoded (with optional error feedback) before
+//! any scheduler sees them, so the server only ever aggregates what
+//! actually travelled the wire.
+//!
+//! ```
+//! use fedtrip_core::algorithms::{AlgorithmKind, ClientState, HyperParams};
+//! use fedtrip_core::compression::Identity;
+//! use fedtrip_core::engine::SimulationConfig;
+//! use fedtrip_core::runtime::ClientExecutor;
+//! use fedtrip_data::partition::Partition;
+//! use fedtrip_data::synth::SyntheticVision;
+//! use fedtrip_models::ModelKind;
+//!
+//! // a tiny 4-client federation, assembled by hand (the engine normally
+//! // does all of this)
+//! let cfg = SimulationConfig {
+//!     model: ModelKind::TinyMlp,
+//!     n_clients: 4,
+//!     clients_per_round: 2,
+//!     batch_size: 10,
+//!     client_samples_override: Some(20),
+//!     ..SimulationConfig::default()
+//! };
+//! let dataset = SyntheticVision::new(cfg.dataset, cfg.seed);
+//! let mut spec = *dataset.spec();
+//! spec.client_samples = 20;
+//! let partition = Partition::build(&spec, cfg.heterogeneity, 4, cfg.seed);
+//! let template = cfg.model.build(&spec.sample_shape(), spec.classes, cfg.seed);
+//! let exec = ClientExecutor {
+//!     cfg: &cfg,
+//!     dataset: &dataset,
+//!     partition: &partition,
+//!     template: &template,
+//!     compressor: &Identity,
+//! };
+//!
+//! // train clients 1 and 3 in parallel from the initial global model
+//! let global = template.params_flat();
+//! let mut states = vec![ClientState::default(); 4];
+//! let algorithm = AlgorithmKind::FedAvg.build(&HyperParams::default());
+//! let outcomes = exec.train_batch(algorithm.as_ref(), &global, &mut states, &[1, 3], 1);
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(outcomes.iter().all(|o| o.iterations > 0));
+//! assert!(states[1].last_round == Some(1) && states[3].last_round == Some(1));
+//! ```
 
 use crate::algorithms::{Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
+use crate::compression::{error_feedback_step, Compressor};
 use crate::engine::SimulationConfig;
 use fedtrip_data::partition::Partition;
 use fedtrip_data::synth::SyntheticVision;
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{vecops, Sequential};
 use rayon::prelude::*;
 
 /// Shared, read-only context for training a batch of clients.
@@ -24,6 +71,10 @@ pub struct ClientExecutor<'a> {
     pub partition: &'a Partition,
     /// Architecture template (cloned per worker).
     pub template: &'a Sequential,
+    /// Upload codec applied to each outcome before it reaches the server
+    /// (the lossless [`Identity`](crate::compression::Identity) skips the
+    /// round trip entirely).
+    pub compressor: &'a dyn Compressor,
 }
 
 impl ClientExecutor<'_> {
@@ -50,6 +101,7 @@ impl ClientExecutor<'_> {
         let dataset = self.dataset;
         let partition = self.partition;
         let template = self.template;
+        let compressor = self.compressor;
         let round_lr = cfg.lr_schedule.lr_at(cfg.lr, round);
 
         let outcomes: Vec<LocalOutcome> = taken
@@ -72,7 +124,11 @@ impl ClientExecutor<'_> {
                     dataset,
                     refs: &partition.clients[*client_id],
                 };
-                algorithm.local_train(&mut net, &data, state, &ctx)
+                let mut outcome = algorithm.local_train(&mut net, &data, state, &ctx);
+                if !compressor.is_identity() {
+                    compress_outcome(&mut outcome, global, state, compressor, cfg.error_feedback);
+                }
+                outcome
             })
             .collect();
 
@@ -81,5 +137,37 @@ impl ClientExecutor<'_> {
             states[c] = s;
         }
         outcomes
+    }
+}
+
+/// Encode/decode a client's upload through the codec at the
+/// executor→scheduler boundary, so the server only ever sees what actually
+/// travelled the wire.
+///
+/// The codec works on the *update* `w_k - w_global` (updates are
+/// near-zero-centred, which is what makes affine quantization and top-k
+/// selection effective); the reconstructed parameters are
+/// `w_global + decode(encode(delta))`. With error feedback on, the part of
+/// the (residual-compensated) update the encoding dropped is stored back
+/// into [`ClientState::residual`] and rides this client's next
+/// participation. The client's own local state (`historical`, corrections)
+/// keeps the uncompressed model — only the server-bound copy is lossy.
+/// Auxiliary uploads (SCAFFOLD's control-variate delta, MimeLite's
+/// full-batch gradient) take the same codec without feedback.
+fn compress_outcome(
+    outcome: &mut LocalOutcome,
+    global: &[f32],
+    state: &mut ClientState,
+    compressor: &dyn Compressor,
+    error_feedback: bool,
+) {
+    let delta = vecops::sub(&outcome.params, global);
+    let (decoded, _wire) = error_feedback_step(compressor, &delta, &mut state.residual, error_feedback);
+    let mut params = global.to_vec();
+    vecops::axpy(&mut params, 1.0, &decoded);
+    outcome.params = params;
+    if let Some(aux) = outcome.aux.take() {
+        let wire = compressor.encode(&aux);
+        outcome.aux = Some(compressor.decode(&wire, aux.len()));
     }
 }

@@ -22,6 +22,11 @@
 //!   is a FedBuff-style buffered aggregator that folds the first `B`
 //!   arrivals by virtual completion time with staleness-discounted weights
 //!   `1 / (1 + s)^a`.
+//!
+//! The upload codecs of [`crate::compression`] plug in at the
+//! executor→scheduler boundary: outcomes are encoded/decoded before any
+//! scheduler sees them, and both schedulers charge the *encoded* uplink
+//! bytes to the clock through `RuntimeCtx::comm_bytes_per_client`.
 
 pub mod clock;
 pub mod executor;

@@ -4,6 +4,18 @@
 //! (`(seed, SELECT, t)` for selection, `(seed, FA11, t)` for failures) are
 //! unchanged, which is what keeps the [`Synchronous`](super::Synchronous)
 //! scheduler bit-identical to the pre-runtime engine.
+//!
+//! ```
+//! use fedtrip_core::runtime::{Sampler, SelectionStrategy};
+//!
+//! // 3-of-6 uniform selection, no failure injection; client_sizes feed the
+//! // WeightedBySamples strategy and are ignored here
+//! let sampler = Sampler::new(7, 3, SelectionStrategy::Uniform, 0.0, vec![50; 6]);
+//! let round_1 = sampler.participants(1);
+//! assert_eq!(round_1.len(), 3);
+//! assert_eq!(round_1, sampler.participants(1)); // pure function of (seed, t)
+//! assert!(round_1.windows(2).all(|w| w[0] < w[1])); // sorted, distinct
+//! ```
 
 use fedtrip_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};

@@ -14,6 +14,22 @@
 //! profiles this trades some statistical efficiency per fold for not
 //! waiting on stragglers, which lowers the virtual wall-clock to a target
 //! accuracy — the practicality concern FedTrip's resource argument targets.
+//!
+//! ```
+//! use fedtrip_core::runtime::{staleness_weight, Scheduler, SemiAsync, Synchronous};
+//!
+//! // fresh updates are never discounted; stale ones decay polynomially
+//! assert_eq!(staleness_weight(0, 0.5), 1.0);
+//! assert!(staleness_weight(3, 0.5) < staleness_weight(1, 0.5));
+//!
+//! // schedulers are trait objects the engine picks by `RunMode`; the
+//! // stateless sync barrier exports an empty checkpoint state
+//! let sync: Box<dyn Scheduler> = Box::new(Synchronous);
+//! assert_eq!(sync.name(), "sync");
+//! assert!(sync.export_state().in_flight.is_empty());
+//! let semi: Box<dyn Scheduler> = Box::new(SemiAsync::new(2, 0.5));
+//! assert_eq!(semi.name(), "semiasync");
+//! ```
 
 use super::clock::{DeviceProfile, VirtualClock};
 use super::executor::ClientExecutor;
@@ -31,9 +47,9 @@ pub fn staleness_weight(staleness: usize, exponent: f32) -> f64 {
 }
 
 /// Everything a scheduler may touch during one server step, borrowed from
-/// the engine. Fields are split borrows of the [`Simulation`]
-/// (`crate::engine::Simulation`) so the scheduler itself stays free of
-/// engine internals.
+/// the engine. Fields are split borrows of the
+/// [`Simulation`](crate::engine::Simulation) so the scheduler itself stays
+/// free of engine internals.
 pub struct RuntimeCtx<'a> {
     /// Local-training fan-out.
     pub exec: ClientExecutor<'a>,

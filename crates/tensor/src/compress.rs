@@ -1,0 +1,238 @@
+//! Low-level compression kernels: affine integer quantization and top-k
+//! magnitude selection.
+//!
+//! These are the O(|w|) building blocks the federated communication codecs
+//! (`fedtrip_core::compression`) are assembled from, written in the same
+//! single-sweep style as [`crate::vecops`]: one pass to find the value
+//! range, one pass to quantize, one pass to reconstruct. Everything here is
+//! deterministic — ties in the top-k selection break by index — so codecs
+//! built on these kernels keep simulations bit-reproducible.
+//!
+//! ```
+//! use fedtrip_tensor::compress::{dequantize_affine, quantize_affine};
+//!
+//! let x = [-1.0f32, 0.0, 0.5, 1.0];
+//! let (min, scale, codes) = quantize_affine(&x, 255);
+//! let back = dequantize_affine(&codes, min, scale);
+//! for (orig, rec) in x.iter().zip(&back) {
+//!     assert!((orig - rec).abs() <= scale / 2.0 + 1e-6);
+//! }
+//! ```
+
+/// Minimum and maximum of a slice in one sweep. Empty input yields
+/// `(0.0, 0.0)`.
+pub fn minmax(x: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in x {
+        if v < min {
+            min = v;
+        }
+        if v > max {
+            max = v;
+        }
+    }
+    if min > max {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+/// Per-tensor affine quantization of `x` onto `levels + 1` integer codes
+/// (`levels` is the largest code: 255 for 8-bit, 15 for 4-bit).
+///
+/// Returns `(min, scale, codes)` with `code = round((v - min) / scale)`
+/// clamped to `0..=levels`, so reconstruction is `min + code * scale` and
+/// the per-element error is bounded by `scale / 2`. A constant input
+/// (`max == min`) yields `scale == 0` and all-zero codes.
+///
+/// # Panics
+/// Panics when `levels` is zero or exceeds 255 (codes are one byte each).
+pub fn quantize_affine(x: &[f32], levels: u32) -> (f32, f32, Vec<u8>) {
+    assert!(
+        (1..=255).contains(&levels),
+        "levels must be in 1..=255, got {levels}"
+    );
+    let (min, max) = minmax(x);
+    let scale = (max - min) / levels as f32;
+    if scale <= 0.0 {
+        return (min, 0.0, vec![0u8; x.len()]);
+    }
+    let inv = 1.0 / scale;
+    let codes = x
+        .iter()
+        .map(|&v| {
+            let q = ((v - min) * inv).round();
+            q.clamp(0.0, levels as f32) as u8
+        })
+        .collect();
+    (min, scale, codes)
+}
+
+/// Reconstruct the values behind [`quantize_affine`] codes:
+/// `v = min + code * scale`.
+pub fn dequantize_affine(codes: &[u8], min: f32, scale: f32) -> Vec<f32> {
+    codes.iter().map(|&c| min + c as f32 * scale).collect()
+}
+
+/// Pack 4-bit codes (each `<= 15`) two per byte, low nibble first. The last
+/// byte of an odd-length input carries a single code in its low nibble.
+///
+/// # Panics
+/// Debug-asserts every code fits in 4 bits.
+pub fn pack_nibbles(codes: &[u8]) -> Vec<u8> {
+    let mut packed = Vec::with_capacity(codes.len().div_ceil(2));
+    for pair in codes.chunks(2) {
+        debug_assert!(pair.iter().all(|&c| c <= 0xF), "code exceeds 4 bits");
+        let lo = pair[0] & 0xF;
+        let hi = pair.get(1).map(|&c| c & 0xF).unwrap_or(0);
+        packed.push(lo | (hi << 4));
+    }
+    packed
+}
+
+/// Inverse of [`pack_nibbles`]: expand `n` 4-bit codes out of packed bytes.
+///
+/// # Panics
+/// Panics when `packed` is shorter than `ceil(n / 2)` bytes.
+pub fn unpack_nibbles(packed: &[u8], n: usize) -> Vec<u8> {
+    assert!(
+        packed.len() >= n.div_ceil(2),
+        "packed nibble buffer too short: {} bytes for {} codes",
+        packed.len(),
+        n
+    );
+    let mut codes = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = packed[i / 2];
+        codes.push(if i % 2 == 0 { byte & 0xF } else { byte >> 4 });
+    }
+    codes
+}
+
+/// Indices of the `k` largest-magnitude entries of `x`, in ascending index
+/// order. Ties in magnitude break toward the lower index, so the selection
+/// is a deterministic function of the input. `k >= x.len()` selects
+/// everything.
+pub fn top_k_indices(x: &[f32], k: usize) -> Vec<u32> {
+    let n = x.len();
+    if k >= n {
+        return (0..n as u32).collect();
+    }
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    // descending magnitude, ascending index on ties: a total order, so the
+    // partial selection is unique regardless of the partition's internals
+    idx.select_nth_unstable_by_key(k - 1, |&i| {
+        let m = x[i as usize].abs();
+        (std::cmp::Reverse(ordered(m)), i)
+    });
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Total order for non-NaN f32 magnitudes (magnitudes are `>= 0`, so the
+/// IEEE bit pattern is already monotone).
+fn ordered(m: f32) -> u32 {
+    debug_assert!(!m.is_nan(), "NaN magnitude in top-k selection");
+    m.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_basic_and_empty() {
+        assert_eq!(minmax(&[3.0, -1.0, 2.0]), (-1.0, 3.0));
+        assert_eq!(minmax(&[]), (0.0, 0.0));
+        assert_eq!(minmax(&[5.0]), (5.0, 5.0));
+    }
+
+    #[test]
+    fn quantize_roundtrip_error_is_half_step() {
+        let x: Vec<f32> = (0..100).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        for levels in [255u32, 15] {
+            let (min, scale, codes) = quantize_affine(&x, levels);
+            let back = dequantize_affine(&codes, min, scale);
+            for (orig, rec) in x.iter().zip(&back) {
+                assert!(
+                    (orig - rec).abs() <= scale / 2.0 + 1e-6,
+                    "levels {levels}: {orig} vs {rec} (scale {scale})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_endpoints_are_exact() {
+        let x = [-2.0f32, 0.3, 2.0];
+        let (min, scale, codes) = quantize_affine(&x, 255);
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[2], 255);
+        let back = dequantize_affine(&codes, min, scale);
+        assert!((back[0] + 2.0).abs() < 1e-6);
+        assert!((back[2] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn quantize_constant_input() {
+        let x = [1.5f32; 8];
+        let (min, scale, codes) = quantize_affine(&x, 255);
+        assert_eq!(min, 1.5);
+        assert_eq!(scale, 0.0);
+        assert!(codes.iter().all(|&c| c == 0));
+        assert_eq!(dequantize_affine(&codes, min, scale), vec![1.5f32; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn quantize_rejects_zero_levels() {
+        let _ = quantize_affine(&[1.0], 0);
+    }
+
+    #[test]
+    fn nibble_pack_roundtrip() {
+        for n in 0..9usize {
+            let codes: Vec<u8> = (0..n as u8).map(|i| i & 0xF).collect();
+            let packed = pack_nibbles(&codes);
+            assert_eq!(packed.len(), n.div_ceil(2));
+            assert_eq!(unpack_nibbles(&packed, n), codes);
+        }
+    }
+
+    #[test]
+    fn top_k_picks_largest_magnitudes() {
+        let x = [0.1f32, -5.0, 2.0, -0.5, 4.0, 0.0];
+        assert_eq!(top_k_indices(&x, 2), vec![1, 4]);
+        assert_eq!(top_k_indices(&x, 3), vec![1, 2, 4]);
+        assert_eq!(top_k_indices(&x, 10), vec![0, 1, 2, 3, 4, 5]);
+        assert!(top_k_indices(&x, 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_ties_break_by_index() {
+        let x = [1.0f32, -1.0, 1.0, -1.0];
+        assert_eq!(top_k_indices(&x, 2), vec![0, 1]);
+        assert_eq!(top_k_indices(&x, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn top_k_is_deterministic() {
+        let x: Vec<f32> = (0..512).map(|i| ((i * 37) % 97) as f32 - 48.0).collect();
+        let a = top_k_indices(&x, 50);
+        let b = top_k_indices(&x, 50);
+        assert_eq!(a, b);
+        // selected magnitudes dominate unselected ones
+        let min_sel = a.iter().map(|&i| x[i as usize].abs()).fold(f32::INFINITY, f32::min);
+        let max_unsel = (0..512u32)
+            .filter(|i| !a.contains(i))
+            .map(|i| x[i as usize].abs())
+            .fold(0.0f32, f32::max);
+        assert!(min_sel >= max_unsel, "{min_sel} < {max_unsel}");
+    }
+}

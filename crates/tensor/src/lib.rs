@@ -17,6 +17,9 @@
 //!   paper's experiments (§V-A).
 //! * [`vecops`] — fused vector kernels for the regularizers (FedProx /
 //!   FedTrip / FedDyn all reduce to axpy-style updates over `&[f32]`).
+//! * [`compress`] — affine integer quantization and top-k magnitude
+//!   selection, the building blocks of the communication codecs in
+//!   `fedtrip_core::compression`.
 //! * [`rng`] — deterministic, splittable random number helpers so that
 //!   parallel client training stays bit-reproducible.
 //!
@@ -26,6 +29,7 @@
 //! backward and "attaching" operations, and we account for each of them
 //! analytically.
 
+pub mod compress;
 pub mod conv;
 pub mod layers;
 pub mod linalg;

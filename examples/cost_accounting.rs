@@ -57,7 +57,7 @@ fn main() {
             kind.name(),
             c.flops / 1e9,
             100.0 * c.flops / m.base_train_flops(),
-            c.extra_comm_bytes as f64 / 1e6
+            c.extra_comm_bytes() as f64 / 1e6
         );
     }
 

@@ -70,7 +70,7 @@ impl Algorithm for FedTripDecay {
         // same vector ops as FedTrip: 4 K |w|
         AttachCost {
             flops: 4.0 * m.local_iterations as f64 * m.n_params as f64,
-            extra_comm_bytes: 0,
+            ..AttachCost::ZERO
         }
     }
 }

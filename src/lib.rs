@@ -23,6 +23,7 @@ pub use fedtrip_tensor as tensor;
 /// Commonly used items, re-exported for `use fedtrip::prelude::*`.
 pub mod prelude {
     pub use fedtrip_core::algorithms::{AlgorithmKind, FedTripConfig};
+    pub use fedtrip_core::compression::{CompressionKind, Compressor};
     pub use fedtrip_core::engine::{RoundRecord, Simulation, SimulationConfig};
     pub use fedtrip_core::experiment::{ExperimentSpec, Scale};
     pub use fedtrip_data::partition::{HeterogeneityKind, Partition};
