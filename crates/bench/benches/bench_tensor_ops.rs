@@ -43,7 +43,9 @@ fn bench_conv_lowering(c: &mut Criterion) {
     let img: Vec<f32> = (0..geom.in_c * geom.in_h * geom.in_w)
         .map(|_| rng.normal())
         .collect();
-    let w: Vec<f32> = (0..geom.out_c * geom.col_rows()).map(|_| rng.normal()).collect();
+    let w: Vec<f32> = (0..geom.out_c * geom.col_rows())
+        .map(|_| rng.normal())
+        .collect();
     let bias = vec![0.0f32; geom.out_c];
 
     let mut g = c.benchmark_group("conv2d_lenet_conv2");
@@ -53,7 +55,14 @@ fn bench_conv_lowering(c: &mut Criterion) {
         let mut out = vec![0.0f32; geom.out_c * geom.col_cols()];
         bench.iter(|| {
             im2col(&geom, black_box(&img), &mut col);
-            sgemm(geom.out_c, geom.col_rows(), geom.col_cols(), &w, &col, &mut out);
+            sgemm(
+                geom.out_c,
+                geom.col_rows(),
+                geom.col_cols(),
+                &w,
+                &col,
+                &mut out,
+            );
             black_box(&out);
         })
     });

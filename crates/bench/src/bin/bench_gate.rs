@@ -1,0 +1,261 @@
+//! `bench_gate` — the CI bench-regression gate.
+//!
+//! Runs criterion-lite versions of the round and local-step benches plus a
+//! population-scale smoke (`N ∈ {1k, 10k, 100k}`, `K = 4`), writes the
+//! measurements to `BENCH_population.json` (a CI artifact), and **fails**
+//! when
+//!
+//! * any timing metric (best-of-reps, the noise-robust estimator)
+//!   regresses more than the tolerance (default 15%,
+//!   `BENCH_GATE_TOLERANCE=0.15`) against the committed
+//!   `results/bench_baseline.json`,
+//! * resident client-state entries or partition shards exceed the hard
+//!   `rounds × K` bound at any population size, or
+//! * the round time at `N = 100k` is more than `3×` the `N = 1k` one
+//!   (the flat-population invariant, with generous noise headroom).
+//!
+//! Refresh the baseline after an intentional perf change with
+//! `cargo run --release -p fedtrip-bench --bin bench_gate -- --write-baseline`.
+//!
+//! **Cross-machine caveat:** the timing comparison is absolute
+//! nanoseconds, so the baseline is only meaningful on hardware comparable
+//! to where it was written. On a CI fleet, refresh the baseline from a CI
+//! runner (commit the artifact of a `--write-baseline` run) or widen
+//! `BENCH_GATE_TOLERANCE`; the residency bound and the population
+//! flatness ratio are machine-independent and always enforced.
+
+use fedtrip_bench::population::{
+    measure_population, population_cfg, BenchReport, PopulationPoint, SWEEP_K,
+};
+use fedtrip_core::algorithms::{AlgorithmKind, ClientData, ClientState, HyperParams, LocalContext};
+use fedtrip_core::engine::Simulation;
+use fedtrip_data::synth::{DatasetKind, SampleRef, SyntheticVision};
+use fedtrip_models::ModelKind;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const BASELINE: &str = "results/bench_baseline.json";
+const ARTIFACT: &str = "BENCH_population.json";
+const POP_ROUNDS: usize = 3;
+const POP_REPS: usize = 3;
+const FLATNESS_FACTOR: f64 = 3.0;
+
+/// Minimum nanoseconds over `reps` executions of `f` (after one warmup).
+///
+/// The *fastest* observation is the noise-robust regression estimator: a
+/// loaded machine can only inflate samples, never deflate them, so min is
+/// far more stable across runs than a small-sample median.
+fn time_min(reps: usize, mut f: impl FnMut()) -> u64 {
+    f(); // warmup: first-touch allocations, lazy caches
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .min()
+        .unwrap_or(0)
+}
+
+/// Criterion-lite `bench_round`: one complete engine round (selection,
+/// local training of K clients, streaming fold) on the smoke-scale config.
+fn round_metric(kind: AlgorithmKind) -> u64 {
+    let cfg = population_cfg(10, SWEEP_K, 1_000_000, 11);
+    let mut sim = Simulation::new(cfg, kind.build(&HyperParams::default()));
+    time_min(9, || {
+        sim.run_round();
+    })
+}
+
+/// Criterion-lite `bench_local_step`: one client's local round on the CNN
+/// (the Appendix-A attach-cost path).
+fn local_step_metric(kind: AlgorithmKind) -> u64 {
+    let dataset = SyntheticVision::new(DatasetKind::MnistLike, 7);
+    let refs: Vec<SampleRef> = (0..50u32)
+        .map(|i| SampleRef {
+            class: (i % 10) as u16,
+            id: i / 10,
+        })
+        .collect();
+    let template = ModelKind::Cnn.build(&[1, 28, 28], 10, 7);
+    let global = template.params_flat();
+    let alg = kind.build(&HyperParams::default());
+    time_min(7, || {
+        let mut net = template.clone();
+        net.set_params_flat(&global);
+        let mut state = ClientState {
+            last_round: Some(1),
+            historical: Some(global.clone()),
+            ..ClientState::default()
+        };
+        let ctx = LocalContext {
+            round: 2,
+            client_id: 0,
+            global: &global,
+            gap: Some(1),
+            epochs: 1,
+            batch_size: 50,
+            lr: 0.01,
+            momentum: 0.9,
+            seed: 7,
+        };
+        let data = ClientData {
+            dataset: &dataset,
+            refs: &refs,
+        };
+        std::hint::black_box(alg.local_train(&mut net, &data, &mut state, &ctx));
+    })
+}
+
+fn fail(failures: &mut Vec<String>, msg: String) {
+    eprintln!("bench_gate: FAIL: {msg}");
+    failures.push(msg);
+}
+
+fn main() {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.15);
+
+    let mut metrics: BTreeMap<String, u64> = BTreeMap::new();
+    println!("bench_gate: timing criterion-lite benches ...");
+    for kind in [AlgorithmKind::FedAvg, AlgorithmKind::FedTrip] {
+        let ns = round_metric(kind);
+        println!("  round_{}_ns = {ns}", kind.name().to_lowercase());
+        metrics.insert(format!("round_{}_ns", kind.name().to_lowercase()), ns);
+    }
+    for kind in [AlgorithmKind::FedAvg, AlgorithmKind::FedTrip] {
+        let ns = local_step_metric(kind);
+        println!("  local_step_{}_ns = {ns}", kind.name().to_lowercase());
+        metrics.insert(format!("local_step_{}_ns", kind.name().to_lowercase()), ns);
+    }
+
+    println!("bench_gate: population smoke (K = {SWEEP_K}, {POP_ROUNDS} rounds) ...");
+    let mut population: Vec<PopulationPoint> = Vec::new();
+    for n in [1_000usize, 10_000, 100_000] {
+        let p = measure_population(n, SWEEP_K, POP_ROUNDS, POP_REPS, 2026);
+        println!(
+            "  N={:>6}: {:.3} ms/round, {} entries, {} shards",
+            p.n_clients,
+            p.median_round_ns as f64 / 1e6,
+            p.resident_entries,
+            p.resident_shards,
+        );
+        metrics.insert(format!("population_round_n{n}_ns"), p.min_round_ns);
+        population.push(p);
+    }
+
+    let report = BenchReport {
+        schema: 1,
+        metrics,
+        population,
+    };
+    let artifact = PathBuf::from(ARTIFACT);
+    fs::write(
+        &artifact,
+        serde_json::to_string_pretty(&report).expect("serialize report"),
+    )
+    .expect("write artifact");
+    println!("bench_gate: wrote {}", artifact.display());
+
+    let mut failures: Vec<String> = Vec::new();
+
+    // hard invariants (machine-independent)
+    let bound = POP_ROUNDS * SWEEP_K;
+    for p in &report.population {
+        if p.resident_entries > bound {
+            fail(
+                &mut failures,
+                format!(
+                    "N={}: resident state entries {} exceed rounds×K = {bound}",
+                    p.n_clients, p.resident_entries
+                ),
+            );
+        }
+        if p.resident_shards > bound {
+            fail(
+                &mut failures,
+                format!(
+                    "N={}: resident shards {} exceed rounds×K = {bound}",
+                    p.n_clients, p.resident_shards
+                ),
+            );
+        }
+    }
+    let (first, last) = (
+        report.population.first().expect("nonempty sweep"),
+        report.population.last().expect("nonempty sweep"),
+    );
+    let ratio = last.min_round_ns as f64 / first.min_round_ns.max(1) as f64;
+    println!(
+        "bench_gate: round-time ratio N={} / N={} = {ratio:.2}x",
+        last.n_clients, first.n_clients
+    );
+    if ratio > FLATNESS_FACTOR {
+        fail(
+            &mut failures,
+            format!(
+                "population round time is not flat: N={} is {ratio:.2}x N={} (limit {FLATNESS_FACTOR}x)",
+                last.n_clients, first.n_clients
+            ),
+        );
+    }
+
+    // regression gate against the committed baseline
+    let baseline_path = Path::new(BASELINE);
+    if write_baseline {
+        if let Some(dir) = baseline_path.parent() {
+            fs::create_dir_all(dir).expect("create baseline dir");
+        }
+        fs::write(
+            baseline_path,
+            serde_json::to_string_pretty(&report).expect("serialize baseline"),
+        )
+        .expect("write baseline");
+        println!("bench_gate: baseline refreshed at {BASELINE}");
+    } else if baseline_path.exists() {
+        let body = fs::read_to_string(baseline_path).expect("read baseline");
+        let baseline: BenchReport = serde_json::from_str(&body).expect("parse baseline");
+        for (name, &base_ns) in &baseline.metrics {
+            let Some(&now_ns) = report.metrics.get(name) else {
+                fail(
+                    &mut failures,
+                    format!("metric `{name}` missing from this run"),
+                );
+                continue;
+            };
+            let rel = now_ns as f64 / base_ns.max(1) as f64 - 1.0;
+            let verdict = if rel > tolerance { "REGRESSED" } else { "ok" };
+            println!(
+                "  {name}: {now_ns} vs baseline {base_ns} ({:+.1}%) {verdict}",
+                rel * 100.0
+            );
+            if rel > tolerance {
+                fail(
+                    &mut failures,
+                    format!(
+                        "`{name}` regressed {:.1}% (tolerance {:.0}%)",
+                        rel * 100.0,
+                        tolerance * 100.0
+                    ),
+                );
+            }
+        }
+    } else {
+        fail(
+            &mut failures,
+            format!("no baseline at {BASELINE}; run with --write-baseline to create it"),
+        );
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: PASS");
+    } else {
+        eprintln!("bench_gate: {} failure(s)", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -102,7 +102,10 @@ fn main() {
             table.row(&[
                 codec.name(),
                 format!("{device_het:.0}x"),
-                format!("{:.3}", last.comm_bytes_up / last.selected.len() as f64 / 1e6),
+                format!(
+                    "{:.3}",
+                    last.comm_bytes_up / last.selected.len() as f64 / 1e6
+                ),
                 format!("{:.2}x", last.compression_ratio),
                 format!("{:.1}%", target * 100.0),
                 fmt_time(t),

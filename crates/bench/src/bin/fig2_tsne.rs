@@ -76,9 +76,9 @@ fn local_round(
     let mut net = sim.global_model();
     net.set_params_flat(global);
     let mut opt = SgdMomentum::new(0.01, 0.9);
-    let refs = &sim.partition().clients[client];
+    let refs = sim.partition().shard(client);
     let mut rng = Prng::derive(seed, &[0xF1_62, client as u64]);
-    for (x, y) in BatchIter::new(ds, refs, sim.config().batch_size, &mut rng) {
+    for (x, y) in BatchIter::new(ds, &refs, sim.config().batch_size, &mut rng) {
         net.zero_grads();
         net.train_step(&x, &y);
         opt.step(&mut net);
@@ -117,7 +117,13 @@ fn main() {
         }
     }
     let global_final = sim.global_params().to_vec();
-    let local_mid = local_round(&sim, &ds, global_mid.as_ref().unwrap_or(&global_final), 1, cli.seed);
+    let local_mid = local_round(
+        &sim,
+        &ds,
+        global_mid.as_ref().unwrap_or(&global_final),
+        1,
+        cli.seed,
+    );
     let local_final = local_round(&sim, &ds, &global_final, 1, cli.seed);
 
     let per_class = if cli.scale == Scale::Smoke { 4 } else { 12 };

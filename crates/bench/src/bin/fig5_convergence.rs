@@ -11,9 +11,9 @@ use fedtrip_bench::Cli;
 use fedtrip_core::experiment::ExperimentSpec;
 use fedtrip_data::partition::HeterogeneityKind;
 use fedtrip_data::synth::DatasetKind;
+use fedtrip_metrics::report::save_json;
 use fedtrip_metrics::stats::ema;
 use fedtrip_models::ModelKind;
-use fedtrip_metrics::report::save_json;
 use serde_json::json;
 
 fn sparkline(values: &[f64]) -> String {
@@ -42,7 +42,11 @@ fn main() {
 
     let mut artifacts = Vec::new();
     for (dataset, het) in panels {
-        println!("--- panel: CNN on {} under {} ---", dataset.name(), het.name());
+        println!(
+            "--- panel: CNN on {} under {} ---",
+            dataset.name(),
+            het.name()
+        );
         for &alg in &METHODS {
             let spec = ExperimentSpec {
                 dataset,

@@ -52,10 +52,7 @@ fn main() {
                     seed: cli.seed,
                 };
                 let cells = run_trials(&cli.results, &spec, cli.trials);
-                let finals: Vec<f64> = cells
-                    .iter()
-                    .map(|c| c.final_accuracy(10) * 100.0)
-                    .collect();
+                let finals: Vec<f64> = cells.iter().map(|c| c.final_accuracy(10) * 100.0).collect();
                 let b = BoxplotSummary::of(&finals);
                 t.row(&[alg.name().to_string(), b.compact()]);
                 artifacts.push(json!({

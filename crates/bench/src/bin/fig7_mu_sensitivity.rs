@@ -22,15 +22,36 @@ fn main() {
     cli.banner("Fig. 7 — FedTrip mu sensitivity (+ xi ablation)");
 
     let panels: [(DatasetKind, ModelKind, HeterogeneityKind); 4] = [
-        (DatasetKind::MnistLike, ModelKind::Cnn, HeterogeneityKind::Dirichlet(0.1)),
-        (DatasetKind::MnistLike, ModelKind::Cnn, HeterogeneityKind::Dirichlet(0.5)),
-        (DatasetKind::MnistLike, ModelKind::Cnn, HeterogeneityKind::Orthogonal(5)),
-        (DatasetKind::FmnistLike, ModelKind::Mlp, HeterogeneityKind::Dirichlet(0.5)),
+        (
+            DatasetKind::MnistLike,
+            ModelKind::Cnn,
+            HeterogeneityKind::Dirichlet(0.1),
+        ),
+        (
+            DatasetKind::MnistLike,
+            ModelKind::Cnn,
+            HeterogeneityKind::Dirichlet(0.5),
+        ),
+        (
+            DatasetKind::MnistLike,
+            ModelKind::Cnn,
+            HeterogeneityKind::Orthogonal(5),
+        ),
+        (
+            DatasetKind::FmnistLike,
+            ModelKind::Mlp,
+            HeterogeneityKind::Dirichlet(0.5),
+        ),
     ];
 
     let mut artifacts = Vec::new();
     for (dataset, model, het) in panels {
-        println!("--- {} / {} under {} ---", model.name(), dataset.name(), het.name());
+        println!(
+            "--- {} / {} under {} ---",
+            model.name(),
+            dataset.name(),
+            het.name()
+        );
         // reference plateau at the paper's mu to define the rounds target
         let mut results = Vec::new();
         for &mu in &MUS {
@@ -117,7 +138,10 @@ fn main() {
             seed: cli.seed,
         };
         let cell = run_or_load(&cli.results, &spec);
-        let best = cell.accuracies().into_iter().fold(f64::NEG_INFINITY, f64::max);
+        let best = cell
+            .accuracies()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
         t.row(&[
             label.to_string(),
             format!("{:.2}", best * 100.0),

@@ -18,7 +18,7 @@ use fedtrip_core::checkpoint::Checkpoint;
 use fedtrip_core::compression::CompressionKind;
 use fedtrip_core::engine::{RunMode, SelectionStrategy, Simulation};
 use fedtrip_core::experiment::{ExperimentSpec, Scale};
-use fedtrip_data::partition::HeterogeneityKind;
+use fedtrip_data::partition::{HeterogeneityKind, ShardRegime};
 use fedtrip_data::synth::DatasetKind;
 use fedtrip_models::ModelKind;
 use fedtrip_tensor::optim::LrSchedule;
@@ -142,8 +142,7 @@ fn main() {
         };
         match args[i].as_str() {
             "--alg" => {
-                spec.algorithm =
-                    AlgorithmKind::parse(val()).unwrap_or_else(|| die("unknown --alg"))
+                spec.algorithm = AlgorithmKind::parse(val()).unwrap_or_else(|| die("unknown --alg"))
             }
             "--dataset" => {
                 spec.dataset = parse_dataset(val()).unwrap_or_else(|| die("unknown --dataset"))
@@ -161,9 +160,7 @@ fn main() {
                 spec.rounds = r;
                 extra_rounds = Some(r);
             }
-            "--epochs" => {
-                spec.local_epochs = val().parse().unwrap_or_else(|_| die("bad --epochs"))
-            }
+            "--epochs" => spec.local_epochs = val().parse().unwrap_or_else(|_| die("bad --epochs")),
             "--mu" => spec.hyper.fedtrip_mu = val().parse().unwrap_or_else(|_| die("bad --mu")),
             "--seed" => spec.seed = val().parse().unwrap_or_else(|_| die("bad --seed")),
             "--scale" => spec.scale = Scale::parse(val()).unwrap_or_else(|| die("bad --scale")),
@@ -193,8 +190,7 @@ fn main() {
                 overrides.device_het = Some(s);
             }
             "--buffer" => {
-                overrides.async_buffer =
-                    Some(val().parse().unwrap_or_else(|_| die("bad --buffer")))
+                overrides.async_buffer = Some(val().parse().unwrap_or_else(|_| die("bad --buffer")))
             }
             "--compress" => {
                 overrides.compression =
@@ -227,7 +223,9 @@ fn main() {
             );
             spec.algorithm = ckpt.algorithm;
             spec.hyper = ckpt.hyper;
-            let mut sim = ckpt.restore();
+            let mut sim = ckpt
+                .restore()
+                .unwrap_or_else(|e| die(&format!("resume: {e}")));
             if let Some(r) = extra_rounds {
                 sim.extend_rounds(r);
             }
@@ -284,12 +282,19 @@ fn main() {
         }
     };
 
+    if sim.partition().regime() == ShardRegime::Independent {
+        println!(
+            "note: {} clients x {} samples exceeds the dataset's finite pools; shards draw \
+             per-client with replacement (independent regime) instead of disjointly",
+            sim.partition().n_clients(),
+            sim.partition().client_samples(),
+        );
+    }
+
     let t0 = std::time::Instant::now();
     sim.run();
     let records = sim.records();
-    println!(
-        "\nround  acc%    loss    cum-GFLOPs  cum-comm-MB  up-MB/rnd      virt-s  staleness"
-    );
+    println!("\nround  acc%    loss    cum-GFLOPs  cum-comm-MB  up-MB/rnd      virt-s  staleness");
     let step = (records.len() / 15).max(1);
     for r in records.iter().step_by(step) {
         println!(
@@ -311,6 +316,11 @@ fn main() {
         sim.virtual_time(),
         ratio,
         t0.elapsed()
+    );
+    println!(
+        "resident client state: {} of {} clients (sparse store + lazy shards keep memory O(participants))",
+        sim.client_states().resident(),
+        sim.config().n_clients,
     );
 
     if let Some(path) = checkpoint {

@@ -16,7 +16,12 @@ fn main() {
     let mut table = Table::new(
         "Table II (paper values match by construction)",
         &[
-            "Dataset", "Total", "Classes", "Channels", "Client Samples", "flip-rate(meas)",
+            "Dataset",
+            "Total",
+            "Classes",
+            "Channels",
+            "Client Samples",
+            "flip-rate(meas)",
         ],
     );
     let mut artifacts = Vec::new();
@@ -29,7 +34,11 @@ fn main() {
         let mut total = 0usize;
         for c in 0..spec.classes as u16 {
             for i in 0..100u32 {
-                if ds.label_of(SampleRef { class: c, id: pool + i }) != c as usize {
+                if ds.label_of(SampleRef {
+                    class: c,
+                    id: pool + i,
+                }) != c as usize
+                {
                     flips += 1;
                 }
                 total += 1;
@@ -64,7 +73,11 @@ fn main() {
         let p = Partition::build(&mnist, h, 10, cli.seed);
         let cpc = p.classes_per_client();
         let mean_cpc = cpc.iter().sum::<usize>() as f64 / cpc.len() as f64;
-        skew_table.row(&[h.name(), format!("{:.3}", p.skew()), format!("{mean_cpc:.1}")]);
+        skew_table.row(&[
+            h.name(),
+            format!("{:.3}", p.skew()),
+            format!("{mean_cpc:.1}"),
+        ]);
     }
     println!("{}", skew_table.render());
 

@@ -19,7 +19,14 @@ fn main() {
         (ModelKind::Mlp, [1, 28, 28], 10, 0.3, 0.8, 0.08),
         (ModelKind::Cnn, [1, 28, 28], 10, 0.24, 0.62, 0.42),
         (ModelKind::AlexNet, [3, 32, 32], 10, 10.42, 2.72, 145.93),
-        (ModelKind::CifarCnn, [3, 32, 32], 10, f64::NAN, f64::NAN, f64::NAN),
+        (
+            ModelKind::CifarCnn,
+            [3, 32, 32],
+            10,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+        ),
     ];
 
     let mut table = Table::new(
@@ -39,7 +46,13 @@ fn main() {
     for (kind, shape, classes, p_comm, p_params, p_mflops) in rows {
         let net = kind.build(&shape, classes, cli.seed);
         let s = ModelStats::of(&net);
-        let fmt = |v: f64| if v.is_nan() { "-".to_string() } else { format!("{v:.2}") };
+        let fmt = |v: f64| {
+            if v.is_nan() {
+                "-".to_string()
+            } else {
+                format!("{v:.2}")
+            }
+        };
         table.row(&[
             kind.name().to_string(),
             fmt(p_comm),

@@ -45,7 +45,11 @@ fn main() {
         let adaptive = adaptive_target(&finals, 0.90);
 
         let mut t = Table::new(
-            format!("{} — GFLOPs to adaptive target {:.1}%", case.name, adaptive * 100.0),
+            format!(
+                "{} — GFLOPs to adaptive target {:.1}%",
+                case.name,
+                adaptive * 100.0
+            ),
             &[
                 "Method",
                 "paper GFLOPs",

@@ -29,12 +29,42 @@ fn main() {
     cli.banner("Table VI — rounds to target with 4-of-50 clients (CNN)");
 
     let cases = [
-        Cell6 { dataset: DatasetKind::MnistLike, het: HeterogeneityKind::Dirichlet(0.1), paper_target: 0.87, paper_fedtrip_rounds: 30 },
-        Cell6 { dataset: DatasetKind::MnistLike, het: HeterogeneityKind::Dirichlet(0.5), paper_target: 0.90, paper_fedtrip_rounds: 19 },
-        Cell6 { dataset: DatasetKind::MnistLike, het: HeterogeneityKind::Orthogonal(5), paper_target: 0.85, paper_fedtrip_rounds: 43 },
-        Cell6 { dataset: DatasetKind::FmnistLike, het: HeterogeneityKind::Dirichlet(0.1), paper_target: 0.65, paper_fedtrip_rounds: 19 },
-        Cell6 { dataset: DatasetKind::FmnistLike, het: HeterogeneityKind::Dirichlet(0.5), paper_target: 0.75, paper_fedtrip_rounds: 15 },
-        Cell6 { dataset: DatasetKind::FmnistLike, het: HeterogeneityKind::Orthogonal(5), paper_target: 0.60, paper_fedtrip_rounds: 35 },
+        Cell6 {
+            dataset: DatasetKind::MnistLike,
+            het: HeterogeneityKind::Dirichlet(0.1),
+            paper_target: 0.87,
+            paper_fedtrip_rounds: 30,
+        },
+        Cell6 {
+            dataset: DatasetKind::MnistLike,
+            het: HeterogeneityKind::Dirichlet(0.5),
+            paper_target: 0.90,
+            paper_fedtrip_rounds: 19,
+        },
+        Cell6 {
+            dataset: DatasetKind::MnistLike,
+            het: HeterogeneityKind::Orthogonal(5),
+            paper_target: 0.85,
+            paper_fedtrip_rounds: 43,
+        },
+        Cell6 {
+            dataset: DatasetKind::FmnistLike,
+            het: HeterogeneityKind::Dirichlet(0.1),
+            paper_target: 0.65,
+            paper_fedtrip_rounds: 19,
+        },
+        Cell6 {
+            dataset: DatasetKind::FmnistLike,
+            het: HeterogeneityKind::Dirichlet(0.5),
+            paper_target: 0.75,
+            paper_fedtrip_rounds: 15,
+        },
+        Cell6 {
+            dataset: DatasetKind::FmnistLike,
+            het: HeterogeneityKind::Orthogonal(5),
+            paper_target: 0.60,
+            paper_fedtrip_rounds: 35,
+        },
     ];
 
     let mut artifacts = Vec::new();
@@ -76,7 +106,9 @@ fn main() {
             let r = cell.rounds_to(adaptive);
             let speed = match (trip, r) {
                 (Some(t0), Some(r)) => format!("{:.2}x", r as f64 / t0 as f64),
-                (Some(_), None) => format!(">{:.2}x", cell.records.len() as f64 / trip.unwrap() as f64),
+                (Some(_), None) => {
+                    format!(">{:.2}x", cell.records.len() as f64 / trip.unwrap() as f64)
+                }
                 _ => "-".into(),
             };
             t.row(&[

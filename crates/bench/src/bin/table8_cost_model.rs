@@ -47,8 +47,14 @@ fn main() {
     println!("{}", sym.render());
 
     let configs = [
-        ("MLP/MNIST", cost_model(ModelKind::Mlp, [1, 28, 28], 10, 600)),
-        ("CNN/MNIST", cost_model(ModelKind::Cnn, [1, 28, 28], 10, 600)),
+        (
+            "MLP/MNIST",
+            cost_model(ModelKind::Mlp, [1, 28, 28], 10, 600),
+        ),
+        (
+            "CNN/MNIST",
+            cost_model(ModelKind::Cnn, [1, 28, 28], 10, 600),
+        ),
         (
             "AlexNet/CIFAR",
             cost_model(ModelKind::AlexNet, [3, 32, 32], 10, 2000),
@@ -83,7 +89,9 @@ fn main() {
         println!("{}", t.render());
     }
 
-    println!("paper §V-B quotes MOON/FedTrip attach ratios: 50x (MLP), 171.4x (CNN), 1336x (AlexNet)");
+    println!(
+        "paper §V-B quotes MOON/FedTrip attach ratios: 50x (MLP), 171.4x (CNN), 1336x (AlexNet)"
+    );
     let moon_ratios: Vec<f64> = configs
         .iter()
         .map(|(_, m)| {

@@ -54,7 +54,9 @@ fn main() {
     let cli = Cli::parse();
     cli.banner("Time to target accuracy — sync barrier vs semi-async buffer");
 
-    let spec = ExperimentSpec::quickstart().with_scale(cli.scale).with_seed(cli.seed);
+    let spec = ExperimentSpec::quickstart()
+        .with_scale(cli.scale)
+        .with_seed(cli.seed);
     let mut table = Table::new(
         format!("{} | virtual seconds to target", spec.algorithm.name()),
         &[

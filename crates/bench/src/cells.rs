@@ -78,7 +78,9 @@ fn cell_key(spec: &ExperimentSpec) -> String {
 }
 
 fn cache_path(results: &Path, spec: &ExperimentSpec) -> PathBuf {
-    results.join("cells").join(format!("{}.json", cell_key(spec)))
+    results
+        .join("cells")
+        .join(format!("{}.json", cell_key(spec)))
 }
 
 /// Run a cell, or load it from the cache when an identical spec has already

@@ -3,9 +3,12 @@
 //! Experiment drivers for the paper's evaluation. Each table and figure has
 //! a dedicated binary (`table4_comm_rounds`, `fig5_convergence`, ...), and
 //! the runtime extensions have their own: `time_to_accuracy` (sync-barrier
-//! vs semi-async virtual wall-clock under heterogeneous device profiles)
-//! and `comm_efficiency` (upload codec × device spread, scored by virtual
-//! seconds to an adaptive accuracy target); all of them share:
+//! vs semi-async virtual wall-clock under heterogeneous device profiles),
+//! `comm_efficiency` (upload codec × device spread, scored by virtual
+//! seconds to an adaptive accuracy target), `population_scale` (round cost
+//! and resident state vs federation size, N up to 100k), and `bench_gate`
+//! (the CI bench-regression gate over the [`population`] harness); all of
+//! them share:
 //!
 //! * [`Cli`] — a tiny flag parser (`--scale smoke|default|paper`,
 //!   `--trials N`, `--seed S`, `--results DIR`),
@@ -27,6 +30,7 @@
 
 pub mod cases;
 pub mod cells;
+pub mod population;
 
 use fedtrip_core::experiment::Scale;
 use std::path::PathBuf;

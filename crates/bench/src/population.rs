@@ -1,0 +1,150 @@
+//! Population-scale measurement harness shared by the `population_scale`
+//! sweep binary and the CI `bench_gate`.
+//!
+//! The claim under test: with the sparse client-state store, lazy
+//! partition shards and lazy device profiles, **per-round cost and
+//! resident state are O(K), not O(N)** — a 100 000-client federation's
+//! round takes as long as a 1 000-client one at the same `K`, and the
+//! number of materialized state entries/shards never exceeds `rounds × K`.
+
+use fedtrip_core::algorithms::{AlgorithmKind, HyperParams};
+use fedtrip_core::engine::{Simulation, SimulationConfig};
+use fedtrip_data::partition::HeterogeneityKind;
+use fedtrip_data::synth::DatasetKind;
+use fedtrip_models::ModelKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// The population axis the sweep walks (the gate smoke skips `50`).
+pub const SWEEP_NS: [usize; 4] = [50, 1_000, 10_000, 100_000];
+
+/// Fixed participants per round across the sweep.
+pub const SWEEP_K: usize = 4;
+
+/// A smoke-scale configuration whose only variable is the population size.
+///
+/// Evaluation is pushed past the round budget (it is O(test set),
+/// independent of `N`, and would only add noise to the per-round timing).
+pub fn population_cfg(n_clients: usize, k: usize, rounds: usize, seed: u64) -> SimulationConfig {
+    SimulationConfig {
+        dataset: DatasetKind::MnistLike,
+        model: ModelKind::TinyMlp,
+        heterogeneity: HeterogeneityKind::Dirichlet(0.5),
+        n_clients,
+        clients_per_round: k,
+        rounds,
+        local_epochs: 1,
+        batch_size: 20,
+        lr: 0.05,
+        momentum: 0.9,
+        seed,
+        test_per_class: 1,
+        client_samples_override: Some(40),
+        eval_every: rounds + 1,
+        ..SimulationConfig::default()
+    }
+}
+
+/// One point of the population sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationPoint {
+    /// Federation size `N`.
+    pub n_clients: usize,
+    /// Median wall time of one synchronous round, in nanoseconds.
+    pub median_round_ns: u64,
+    /// Fastest observed round, in nanoseconds — the noise-robust estimator
+    /// the regression gate compares (a machine can run slower than its
+    /// best for many reasons, but never faster).
+    pub min_round_ns: u64,
+    /// Client-state entries resident after the run (≤ rounds × K).
+    pub resident_entries: usize,
+    /// Partition shards resident after the run (≤ rounds × K).
+    pub resident_shards: usize,
+    /// Communication bytes charged per round (all participants).
+    pub bytes_per_round: f64,
+}
+
+/// Median of raw nanosecond samples (empty input → 0).
+pub fn median_ns(samples: &mut [u128]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2] as u64
+}
+
+/// Run `reps` federations of `rounds` rounds at population `n` and measure
+/// the per-round wall time plus residency counters.
+pub fn measure_population(
+    n: usize,
+    k: usize,
+    rounds: usize,
+    reps: usize,
+    seed: u64,
+) -> PopulationPoint {
+    let mut round_ns: Vec<u128> = Vec::with_capacity(reps * rounds);
+    let mut resident_entries = 0;
+    let mut resident_shards = 0;
+    let mut bytes_per_round = 0.0;
+    for rep in 0..reps {
+        let cfg = population_cfg(n, k, rounds, seed.wrapping_add(rep as u64));
+        let mut sim = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
+        for _ in 0..rounds {
+            let t0 = Instant::now();
+            sim.run_round();
+            round_ns.push(t0.elapsed().as_nanos());
+        }
+        resident_entries = resident_entries.max(sim.client_states().resident());
+        resident_shards = resident_shards.max(sim.partition().resident_shards());
+        bytes_per_round = sim
+            .records()
+            .last()
+            .map(|r| r.cum_comm_bytes / rounds as f64)
+            .unwrap_or(0.0);
+    }
+    PopulationPoint {
+        n_clients: n,
+        min_round_ns: round_ns.iter().min().copied().unwrap_or(0) as u64,
+        median_round_ns: median_ns(&mut round_ns),
+        resident_entries,
+        resident_shards,
+        bytes_per_round,
+    }
+}
+
+/// The artifact `bench_gate` writes (`BENCH_population.json`) and the
+/// committed baseline (`results/bench_baseline.json`) share this shape;
+/// the gate compares the `metrics` medians.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Artifact schema version.
+    pub schema: u32,
+    /// Named median-nanosecond metrics (round/local-step benches).
+    pub metrics: BTreeMap<String, u64>,
+    /// The population sweep points.
+    pub population: Vec<PopulationPoint>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median_ns(&mut []), 0);
+        assert_eq!(median_ns(&mut [5]), 5);
+        assert_eq!(median_ns(&mut [9, 1, 5]), 5);
+        assert_eq!(median_ns(&mut [4, 1, 9, 5]), 5);
+    }
+
+    #[test]
+    fn population_point_measures_something() {
+        let p = measure_population(20, 4, 2, 1, 9);
+        assert_eq!(p.n_clients, 20);
+        assert!(p.median_round_ns > 0);
+        assert!(p.resident_entries > 0 && p.resident_entries <= 8);
+        assert!(p.resident_shards <= 8);
+        assert!(p.bytes_per_round > 0.0);
+    }
+}

@@ -16,8 +16,8 @@
 //! which makes client optima asymptotically consistent with the global one.
 
 use super::{
-    model_train_flops, run_local_sgd, weighted_param_average, Algorithm, ClientData, ClientState,
-    LocalContext, LocalOutcome,
+    model_train_flops, run_local_sgd, Algorithm, ClientData, ClientState, LocalContext,
+    LocalOutcome, ServerFold,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
@@ -125,19 +125,27 @@ impl Algorithm for FedDyn {
         }
     }
 
-    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
-        let avg = weighted_param_average(outcomes);
+    fn server_begin(&self, fold: &mut ServerFold) {
+        // streaming scratch: the per-element drift sum `sum_k (w_k - w_prev)`
+        fold.extra = vec![0.0f32; fold.n_params()];
+    }
+
+    fn server_fold(&self, fold: &mut ServerFold, outcome: &LocalOutcome, global: &[f32]) {
+        for (d, (&p, &g)) in fold.extra.iter_mut().zip(outcome.params.iter().zip(global)) {
+            *d += p - g;
+        }
+    }
+
+    fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
+        let cohort = fold.plan().cohort;
+        let (avg, drift) = fold.into_parts();
         if self.h.len() != global.len() {
             self.h = vec![0.0; global.len()];
         }
-        let n = self.n_clients.max(outcomes.len()) as f32;
+        let n = self.n_clients.max(cohort) as f32;
         // h <- h - alpha/N * sum_k (w_k - w_prev)
-        for (i, hv) in self.h.iter_mut().enumerate() {
-            let mut drift = 0.0f32;
-            for o in outcomes {
-                drift += o.params[i] - global[i];
-            }
-            *hv -= self.alpha * drift / n;
+        for (hv, &d) in self.h.iter_mut().zip(&drift) {
+            *hv -= self.alpha * d / n;
         }
         // w <- mean(w_k) - h / alpha
         for ((g, &a), &hv) in global.iter_mut().zip(&avg).zip(&self.h) {
@@ -162,6 +170,7 @@ impl Algorithm for FedDyn {
 
 #[cfg(test)]
 mod tests {
+    use super::super::server_update;
     use super::super::testutil::*;
     use super::*;
 
@@ -200,7 +209,7 @@ mod tests {
         let mut fd = FedDyn::new(0.5);
         fd.on_init(4, 2);
         let mut global = vec![0.0f32, 0.0];
-        fd.server_update(&mut global, &[outcome(vec![1.0, 1.0])], 1);
+        server_update(&mut fd, &mut global, &[outcome(vec![1.0, 1.0])], 1);
         // drift = 1 per coord; h = -0.5*1/4 = -0.125; w = 1 - h/alpha = 1.25
         assert_eq!(global, vec![1.25, 1.25]);
     }
@@ -210,10 +219,10 @@ mod tests {
         let mut fd = FedDyn::new(0.5);
         fd.on_init(4, 1);
         let mut global = vec![0.0f32];
-        fd.server_update(&mut global, &[outcome(vec![1.0])], 1);
+        server_update(&mut fd, &mut global, &[outcome(vec![1.0])], 1);
         let g1 = global[0];
         // clients return exactly the current global: no new drift
-        fd.server_update(&mut global, &[outcome(vec![g1])], 2);
+        server_update(&mut fd, &mut global, &[outcome(vec![g1])], 2);
         // h unchanged => w = g1 - h/alpha = g1 + 0.25
         assert!((global[0] - (g1 + 0.25)).abs() < 1e-6);
     }

@@ -113,10 +113,7 @@ mod tests {
         let h = Harness::new(7);
         let m = h.cost_model();
         let c = FedProx::new(0.1).attach_cost(&m);
-        assert_eq!(
-            c.flops,
-            2.0 * m.local_iterations as f64 * m.n_params as f64
-        );
+        assert_eq!(c.flops, 2.0 * m.local_iterations as f64 * m.n_params as f64);
         assert_eq!(c.extra_comm_bytes(), 0);
     }
 

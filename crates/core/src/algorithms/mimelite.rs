@@ -15,8 +15,8 @@
 //! FedTrip's Table VIII row is contrasted against.
 
 use super::{
-    model_train_flops, run_local_sgd, weighted_param_average, Algorithm, ClientData, ClientState,
-    LocalContext, LocalOutcome,
+    model_train_flops, run_local_sgd, Algorithm, ClientData, ClientState, LocalContext,
+    LocalOutcome, ServerFold,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
@@ -51,11 +51,7 @@ impl MimeLite {
 
 /// Full-batch gradient of the client's data at the model's current
 /// parameters, evaluated in chunks to bound memory.
-fn full_batch_gradient(
-    net: &mut Sequential,
-    data: &ClientData<'_>,
-    chunk: usize,
-) -> Vec<f32> {
+fn full_batch_gradient(net: &mut Sequential, data: &ClientData<'_>, chunk: usize) -> Vec<f32> {
     let n = data.refs.len();
     let mut acc = vec![0.0f64; net.num_params()];
     let mut off = 0;
@@ -124,28 +120,35 @@ impl Algorithm for MimeLite {
             iterations,
             // Appendix A: the attach cost is the full-batch gradient
             train_flops: model_train_flops(net, samples)
-                + data.refs.len() as f64
-                    * (net.flops_forward() + net.flops_backward()) as f64,
+                + data.refs.len() as f64 * (net.flops_forward() + net.flops_backward()) as f64,
             aux: Some(full_grad),
             staleness: 0,
             agg_weight: 1.0,
         }
     }
 
-    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
-        *global = weighted_param_average(outcomes);
+    fn server_begin(&self, fold: &mut ServerFold) {
+        // streaming scratch: the mean full-batch gradient over the cohort
+        fold.extra = vec![0.0f32; fold.n_params()];
+    }
+
+    fn server_fold(&self, fold: &mut ServerFold, outcome: &LocalOutcome, _global: &[f32]) {
+        if let Some(g) = &outcome.aux {
+            let k = fold.plan().aux_count.max(1) as f32;
+            for (mv, &gv) in fold.extra.iter_mut().zip(g) {
+                *mv += gv / k;
+            }
+        }
+    }
+
+    fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
+        let (avg, mean_g) = fold.into_parts();
+        *global = avg;
         if self.s.len() != global.len() {
             self.s = vec![0.0; global.len()];
         }
-        let k = outcomes.iter().filter(|o| o.aux.is_some()).count().max(1) as f32;
-        for (i, sv) in self.s.iter_mut().enumerate() {
-            let mut mean_g = 0.0f32;
-            for o in outcomes {
-                if let Some(g) = &o.aux {
-                    mean_g += g[i] / k;
-                }
-            }
-            *sv = (1.0 - self.beta) * mean_g + self.beta * *sv;
+        for (sv, &m) in self.s.iter_mut().zip(&mean_g) {
+            *sv = (1.0 - self.beta) * m + self.beta * *sv;
         }
     }
 
@@ -166,6 +169,7 @@ impl Algorithm for MimeLite {
 
 #[cfg(test)]
 mod tests {
+    use super::super::server_update;
     use super::super::testutil::*;
     use super::*;
     use fedtrip_data::synth::{DatasetKind, SampleRef, SyntheticVision};
@@ -216,7 +220,7 @@ mod tests {
             agg_weight: 1.0,
         };
         let mut g = vec![0.0f32, 0.0];
-        ml.server_update(&mut g, &[o], 1);
+        server_update(&mut ml, &mut g, &[o], 1);
         // s = 0.5 * mean + 0.5 * 0 = [1, 2]
         assert_eq!(ml.server_statistic(), &[1.0, 2.0]);
     }

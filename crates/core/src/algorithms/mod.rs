@@ -7,9 +7,14 @@
 //! All methods implement the [`Algorithm`] trait: the engine hands each
 //! selected client a model loaded with the global parameters and the method
 //! runs local training however it likes (`local_train`, called from rayon
-//! workers, hence `&self`), then the server folds the outcomes into the next
-//! global model (`server_update`, `&mut self` — server-side state like
-//! SlowMo's momentum buffer lives in the algorithm struct).
+//! workers, hence `&self`), then the server **streams** the outcomes into
+//! the next global model through a [`ServerFold`] — `server_begin` /
+//! `server_fold` per arrival / `server_finish` (`&mut self` — server-side
+//! state like SlowMo's momentum buffer lives in the algorithm struct). The
+//! provided `server_update` drives the three hooks over a slice for tests
+//! and simple embeddings. Per-client persistent state lives in the sparse
+//! [`ClientStateStore`]: only clients that have ever participated occupy
+//! memory, which is what lets federations scale to 10⁵ clients.
 
 mod fedavg;
 mod feddyn;
@@ -100,6 +105,138 @@ pub struct ClientState {
     pub residual: Option<Vec<f32>>,
 }
 
+impl ClientState {
+    /// `true` when this state is indistinguishable from a client that never
+    /// participated — such entries need not be stored (or serialized) at
+    /// all.
+    pub fn is_vacant(&self) -> bool {
+        self.last_round.is_none()
+            && self.historical.is_none()
+            && self.correction.is_none()
+            && self.residual.is_none()
+    }
+}
+
+/// Sparse per-client state storage.
+///
+/// The engine historically allocated a dense `Vec<ClientState>` — O(N)
+/// entries, each able to hold up to three full model vectors — even though
+/// only the `K` clients of each round ever touch their state. This store
+/// keeps an entry **only for clients that have participated**: a client that
+/// was never selected reads as [`ClientState::default`] without occupying
+/// memory, so resident state is O(participants-ever), bounded by
+/// `rounds × K`, regardless of federation size.
+///
+/// Iteration order is ascending client id (the map is a `BTreeMap`), which
+/// keeps checkpoint serialization deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct ClientStateStore {
+    n_clients: usize,
+    entries: std::collections::BTreeMap<usize, ClientState>,
+}
+
+impl ClientStateStore {
+    /// An empty store for a federation of `n_clients` (no entries resident).
+    pub fn new(n_clients: usize) -> Self {
+        ClientStateStore {
+            n_clients,
+            entries: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Rebuild a store from `(client, state)` entries (checkpoint restore).
+    ///
+    /// Vacant states are dropped rather than stored (they are semantically
+    /// identical to absence). Fails on out-of-range client ids or duplicate
+    /// entries instead of panicking — a config/checkpoint mismatch must
+    /// surface as a clean error.
+    pub fn from_entries(
+        n_clients: usize,
+        entries: impl IntoIterator<Item = (usize, ClientState)>,
+    ) -> Result<Self, String> {
+        let mut store = ClientStateStore::new(n_clients);
+        for (client, state) in entries {
+            if client >= n_clients {
+                return Err(format!(
+                    "client state entry {client} out of range for a federation of {n_clients}"
+                ));
+            }
+            if state.is_vacant() {
+                continue;
+            }
+            if store.entries.insert(client, state).is_some() {
+                return Err(format!("duplicate client state entry {client}"));
+            }
+        }
+        Ok(store)
+    }
+
+    /// Federation size (the *capacity*, not the resident entry count).
+    pub fn n_clients(&self) -> usize {
+        self.n_clients
+    }
+
+    /// Number of resident entries (clients that have ever participated).
+    pub fn resident(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether a client currently holds a resident entry.
+    pub fn is_resident(&self, client: usize) -> bool {
+        self.entries.contains_key(&client)
+    }
+
+    /// Read a client's state, if resident.
+    pub fn get(&self, client: usize) -> Option<&ClientState> {
+        self.entries.get(&client)
+    }
+
+    /// Remove and return a client's state (default for non-resident
+    /// clients) so a training worker can own it — the sparse equivalent of
+    /// `std::mem::take(&mut states[c])`.
+    ///
+    /// # Panics
+    /// Panics when `client >= n_clients`.
+    pub fn take(&mut self, client: usize) -> ClientState {
+        assert!(
+            client < self.n_clients,
+            "client {client} out of range (n_clients {})",
+            self.n_clients
+        );
+        self.entries.remove(&client).unwrap_or_default()
+    }
+
+    /// Return a client's state after training (the other half of
+    /// [`ClientStateStore::take`]).
+    ///
+    /// # Panics
+    /// Panics when `client >= n_clients`.
+    pub fn put(&mut self, client: usize, state: ClientState) {
+        assert!(
+            client < self.n_clients,
+            "client {client} out of range (n_clients {})",
+            self.n_clients
+        );
+        self.entries.insert(client, state);
+    }
+
+    /// Resident entries in ascending client order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &ClientState)> {
+        self.entries.iter().map(|(&c, s)| (c, s))
+    }
+
+    /// Force every client resident (with default states where absent).
+    ///
+    /// Semantically a no-op — a vacant resident entry behaves exactly like
+    /// absence — which is precisely what the sparse≡dense equivalence tests
+    /// exercise. O(N) memory; never used by the engine itself.
+    pub fn prefill_dense(&mut self) {
+        for c in 0..self.n_clients {
+            self.entries.entry(c).or_default();
+        }
+    }
+}
+
 /// What a client sends back to the server after local training.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LocalOutcome {
@@ -125,6 +262,135 @@ pub struct LocalOutcome {
     /// weight (`1.0` = undiscounted, the synchronous default; the
     /// semi-async scheduler sets `1 / (1 + staleness)^a`).
     pub agg_weight: f64,
+}
+
+/// Scalar cohort summary available *before* any outcome folds — what a
+/// streaming server fold needs to know up front.
+///
+/// The scheduler computes it with a cheap pass over the cohort's scalars
+/// (never the parameter vectors): in sync mode the cohort is the round's
+/// survivors, in semi-async mode the buffered arrivals, both known before
+/// the first vector is folded.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldPlan {
+    /// Number of outcomes that will fold.
+    pub cohort: usize,
+    /// How many of them carry an auxiliary upload (MimeLite's gradient
+    /// mean divides by this).
+    pub aux_count: usize,
+    /// `Σ n_samples · agg_weight` over the cohort **in fold order** — the
+    /// normalizer of the weighted parameter average.
+    pub total_weight: f64,
+}
+
+impl FoldPlan {
+    /// Summarize a cohort (iterate in fold order — the f64 sum order is
+    /// part of the bit-reproducibility contract).
+    pub fn for_outcomes<'a>(outcomes: impl Iterator<Item = &'a LocalOutcome>) -> FoldPlan {
+        let mut plan = FoldPlan {
+            cohort: 0,
+            aux_count: 0,
+            total_weight: 0.0,
+        };
+        for o in outcomes {
+            plan.cohort += 1;
+            plan.aux_count += usize::from(o.aux.is_some());
+            plan.total_weight += o.n_samples as f64 * o.agg_weight;
+        }
+        plan
+    }
+}
+
+/// Streaming server-fold accumulator: arrivals fold into a running
+/// normalized-weight parameter sum **one at a time**, so the server never
+/// has to hold a cohort of full parameter vectors to aggregate them.
+///
+/// The accumulation replicates [`weighted_param_average`] operation for
+/// operation — each arrival's normalized weight
+/// `n_samples · agg_weight / total_weight` (with `total_weight` from the
+/// [`FoldPlan`]'s scalar pre-pass) scales its parameters into an f64
+/// accumulator in fold order — so a streamed fold is bit-identical to the
+/// historical collect-then-average, which the golden fixtures pin.
+///
+/// `extra` is a method-owned f32 scratch vector: server-stateful methods
+/// (FedDyn's drift, SCAFFOLD's control-variate sum, MimeLite's gradient
+/// mean) size it in [`Algorithm::server_begin`] and stream into it in
+/// [`Algorithm::server_fold`], preserving their historical per-element f32
+/// accumulation order exactly.
+#[derive(Debug)]
+pub struct ServerFold {
+    plan: FoldPlan,
+    acc: Vec<f64>,
+    /// Method-owned streaming scratch (empty unless the method's
+    /// [`Algorithm::server_begin`] sizes it).
+    pub extra: Vec<f32>,
+}
+
+impl ServerFold {
+    /// Start a fold of `plan.cohort` outcomes over `n_params` parameters.
+    ///
+    /// # Panics
+    /// Panics on an empty cohort or non-positive total weight (the same
+    /// invariants [`weighted_param_average`] asserts).
+    pub fn begin(n_params: usize, plan: FoldPlan) -> ServerFold {
+        assert!(plan.cohort > 0, "no outcomes to aggregate");
+        assert!(
+            plan.total_weight > 0.0,
+            "aggregation weights must be positive"
+        );
+        ServerFold {
+            plan,
+            acc: vec![0.0f64; n_params],
+            extra: Vec::new(),
+        }
+    }
+
+    /// The cohort summary this fold was begun with.
+    pub fn plan(&self) -> FoldPlan {
+        self.plan
+    }
+
+    /// Parameter-vector length of this fold.
+    pub fn n_params(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Fold one arrival: its parameters into the running weighted average,
+    /// then the method's own streaming hook ([`Algorithm::server_fold`]).
+    /// `global` is the fold-start global model (what corrections measure
+    /// drift against).
+    ///
+    /// # Panics
+    /// Panics on a parameter-length mismatch.
+    pub fn absorb<A: Algorithm + ?Sized>(
+        &mut self,
+        algorithm: &A,
+        outcome: &LocalOutcome,
+        global: &[f32],
+    ) {
+        assert_eq!(
+            outcome.params.len(),
+            self.acc.len(),
+            "parameter vector length mismatch"
+        );
+        let w = outcome.n_samples as f64 * outcome.agg_weight / self.plan.total_weight;
+        for (a, &v) in self.acc.iter_mut().zip(&outcome.params) {
+            *a += w * v as f64;
+        }
+        algorithm.server_fold(self, outcome, global);
+    }
+
+    /// Finish the fold: the weighted parameter average (f64 accumulator
+    /// cast back to f32).
+    pub fn into_avg(self) -> Vec<f32> {
+        self.acc.into_iter().map(|v| v as f32).collect()
+    }
+
+    /// Finish the fold keeping the method scratch: `(average, extra)`.
+    pub fn into_parts(self) -> (Vec<f32>, Vec<f32>) {
+        let extra = self.extra;
+        (self.acc.into_iter().map(|v| v as f32).collect(), extra)
+    }
 }
 
 /// A federated optimization method.
@@ -165,14 +431,51 @@ pub trait Algorithm: Send + Sync {
         ctx: &LocalContext<'_>,
     ) -> LocalOutcome;
 
-    /// Fold client outcomes into the next global model. The default is the
-    /// sample-count-weighted average of Eq. 2.
-    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
-        *global = weighted_param_average(outcomes);
+    /// Called when a server fold begins, before any outcome arrives — size
+    /// the streaming scratch (`fold.extra`) here. Default: nothing.
+    fn server_begin(&self, _fold: &mut ServerFold) {}
+
+    /// Streaming hook: called once per folded arrival (in fold order) from
+    /// [`ServerFold::absorb`], after the arrival's parameters entered the
+    /// running average. Methods with server-side corrections accumulate
+    /// their per-outcome terms into `fold.extra` here; the arrival's
+    /// parameter vector is dropped right after this call. Default: nothing.
+    fn server_fold(&self, _fold: &mut ServerFold, _outcome: &LocalOutcome, _global: &[f32]) {}
+
+    /// Finish a fold: turn the accumulated average (and scratch) into the
+    /// next global model, updating any server-side state. The default is
+    /// the sample-count-weighted average of Eq. 2.
+    fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
+        *global = fold.into_avg();
     }
 
     /// The Appendix-A attaching-operation cost of this method.
     fn attach_cost(&self, m: &CostModel) -> AttachCost;
+}
+
+/// Fold a full cohort at once by driving an algorithm's streaming hooks —
+/// [`Algorithm::server_begin`] / [`Algorithm::server_fold`] /
+/// [`Algorithm::server_finish`] — over a slice (unit tests, simple
+/// embeddings). The engine itself streams arrivals through a
+/// [`ServerFold`] instead of collecting them.
+///
+/// Deliberately a **free function**, not a trait method: the engine only
+/// ever calls the three streaming hooks, so an overridable `server_update`
+/// would be a silent no-op under the engine — methods must implement their
+/// server step through the hooks.
+pub fn server_update<A: Algorithm + ?Sized>(
+    algorithm: &mut A,
+    global: &mut Vec<f32>,
+    outcomes: &[LocalOutcome],
+    round: usize,
+) {
+    let plan = FoldPlan::for_outcomes(outcomes.iter());
+    let mut fold = ServerFold::begin(global.len(), plan);
+    algorithm.server_begin(&mut fold);
+    for o in outcomes {
+        fold.absorb(&*algorithm, o, global);
+    }
+    algorithm.server_finish(global, fold, round);
 }
 
 /// Sample-count-weighted parameter average (Eq. 2 with `a_k = |D_k| / |D_S|`),

@@ -15,9 +15,7 @@
 //! per sample per iteration** (`K * M * (1+p) * FP` attach FLOPs, Appendix
 //! A), whereas FedTrip's parameter-space triplet costs only `4K|w|`.
 
-use super::{
-    model_train_flops, Algorithm, ClientData, ClientState, LocalContext, LocalOutcome,
-};
+use super::{model_train_flops, Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_data::loader::BatchIter;
 use fedtrip_tensor::{Sequential, Tensor};

@@ -8,8 +8,8 @@
 //! Appendix-A row FedTrip is contrasted against on the communication side.
 
 use super::{
-    model_train_flops, run_local_sgd, weighted_param_average, Algorithm, ClientData, ClientState,
-    LocalContext, LocalOutcome,
+    model_train_flops, run_local_sgd, Algorithm, ClientData, ClientState, LocalContext,
+    LocalOutcome, ServerFold,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
@@ -105,28 +105,37 @@ impl Algorithm for Scaffold {
             // Appendix-A formula models SCAFFOLD variants that estimate
             // full-batch gradients — our option-II variant does not run it,
             // so count only what is executed:
-            train_flops: model_train_flops(net, samples)
-                + 2.0 * (iterations + 1) as f64 * n as f64,
+            train_flops: model_train_flops(net, samples) + 2.0 * (iterations + 1) as f64 * n as f64,
             aux: Some(delta_c),
             staleness: 0,
             agg_weight: 1.0,
         }
     }
 
-    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
-        *global = weighted_param_average(outcomes);
-        if self.c.len() != global.len() {
-            self.c = vec![0.0; global.len()];
-        }
-        // c <- c + (1/N) * sum_{k in S} delta_c_k
-        let n = self.n_clients.max(outcomes.len()) as f32;
-        for o in outcomes {
-            if let Some(dc) = &o.aux {
-                for (cv, &d) in self.c.iter_mut().zip(dc) {
-                    *cv += d / n;
-                }
+    fn server_begin(&self, fold: &mut ServerFold) {
+        // streaming scratch: the *next* server control variate, starting
+        // from the current `c` (zeros on a size change, as before)
+        fold.extra = if self.c.len() == fold.n_params() {
+            self.c.clone()
+        } else {
+            vec![0.0f32; fold.n_params()]
+        };
+    }
+
+    fn server_fold(&self, fold: &mut ServerFold, outcome: &LocalOutcome, _global: &[f32]) {
+        // c <- c + (1/N) * delta_c_k, one arrival at a time
+        if let Some(dc) = &outcome.aux {
+            let n = self.n_clients.max(fold.plan().cohort) as f32;
+            for (cv, &d) in fold.extra.iter_mut().zip(dc) {
+                *cv += d / n;
             }
         }
+    }
+
+    fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
+        let (avg, c) = fold.into_parts();
+        *global = avg;
+        self.c = c;
     }
 
     fn server_state(&self) -> Vec<Vec<f32>> {
@@ -146,6 +155,7 @@ impl Algorithm for Scaffold {
 
 #[cfg(test)]
 mod tests {
+    use super::super::server_update;
     use super::super::testutil::*;
     use super::*;
 
@@ -191,7 +201,7 @@ mod tests {
             agg_weight: 1.0,
         };
         let mut g = vec![0.0f32, 0.0];
-        sc.server_update(&mut g, &[o], 1);
+        server_update(&mut sc, &mut g, &[o], 1);
         assert_eq!(sc.server_control(), &[1.0, -2.0]);
     }
 

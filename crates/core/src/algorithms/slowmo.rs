@@ -10,8 +10,8 @@
 //! ```
 
 use super::{
-    model_train_flops, run_local_sgd, weighted_param_average, Algorithm, ClientData, ClientState,
-    LocalContext, LocalOutcome,
+    model_train_flops, run_local_sgd, Algorithm, ClientData, ClientState, LocalContext,
+    LocalOutcome, ServerFold,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
@@ -78,12 +78,17 @@ impl Algorithm for SlowMo {
         }
     }
 
-    fn server_update(&mut self, global: &mut Vec<f32>, outcomes: &[LocalOutcome], _round: usize) {
-        let avg = weighted_param_average(outcomes);
+    fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
+        let avg = fold.into_avg();
         if self.momentum_buf.len() != global.len() {
             self.momentum_buf = vec![0.0; global.len()];
         }
-        for ((u, g), a) in self.momentum_buf.iter_mut().zip(global.iter_mut()).zip(&avg) {
+        for ((u, g), a) in self
+            .momentum_buf
+            .iter_mut()
+            .zip(global.iter_mut())
+            .zip(&avg)
+        {
             *u = self.beta * *u + (*g - a);
             *g -= self.server_lr * *u;
         }
@@ -106,6 +111,7 @@ impl Algorithm for SlowMo {
 
 #[cfg(test)]
 mod tests {
+    use super::super::server_update;
     use super::super::testutil::*;
     use super::*;
 
@@ -128,7 +134,7 @@ mod tests {
         let mut s = SlowMo::new(0.5, 1.0);
         s.on_init(10, 2);
         let mut global = vec![1.0f32, 1.0];
-        s.server_update(&mut global, &[outcome(vec![0.0, 0.0])], 1);
+        server_update(&mut s, &mut global, &[outcome(vec![0.0, 0.0])], 1);
         assert_eq!(global, vec![0.0, 0.0]);
     }
 
@@ -138,10 +144,10 @@ mod tests {
         s.on_init(10, 1);
         let mut global = vec![1.0f32];
         // round 1: avg 0 => u = 1, w = 0
-        s.server_update(&mut global, &[outcome(vec![0.0])], 1);
+        server_update(&mut s, &mut global, &[outcome(vec![0.0])], 1);
         assert_eq!(global, vec![0.0]);
         // round 2: avg = w (no local movement) => delta 0, u = 0.5 => w = -0.5
-        s.server_update(&mut global, &[outcome(vec![0.0])], 2);
+        server_update(&mut s, &mut global, &[outcome(vec![0.0])], 2);
         assert_eq!(global, vec![-0.5]);
     }
 
@@ -150,7 +156,7 @@ mod tests {
         let mut s = SlowMo::new(0.0, 1.0);
         s.on_init(4, 2);
         let mut global = vec![5.0f32, -5.0];
-        s.server_update(&mut global, &[outcome(vec![1.0, 2.0])], 1);
+        server_update(&mut s, &mut global, &[outcome(vec![1.0, 2.0])], 1);
         assert_eq!(global, vec![1.0, 2.0]);
     }
 

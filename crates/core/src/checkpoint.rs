@@ -8,7 +8,7 @@
 //! restore produces exactly the bytes the uninterrupted run would have.
 
 use crate::algorithms::{AlgorithmKind, ClientState, HyperParams};
-use crate::engine::{RoundRecord, Simulation, SimulationConfig};
+use crate::engine::{RestoreError, RoundRecord, Simulation, SimulationConfig};
 use crate::runtime::SchedulerState;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -16,14 +16,34 @@ use std::io;
 use std::path::Path;
 
 /// Current snapshot format version. Bumped to 2 when the runtime split
-/// added the virtual clock and scheduler (in-flight/buffer) state, and to 3
+/// added the virtual clock and scheduler (in-flight/buffer) state, to 3
 /// when the compression subsystem added the codec/error-feedback config
-/// fields and per-client error-feedback residuals. Older snapshots predate
-/// those fields and cannot be resumed faithfully, so [`Checkpoint::load`]
-/// rejects any other version with a clear error (the version is checked
-/// *before* full deserialization, so a foreign snapshot reports its version
-/// instead of a confusing missing-field error).
-pub const CHECKPOINT_VERSION: u32 = 3;
+/// fields and per-client error-feedback residuals, and to 4 when client
+/// states went **sparse**: a v4 snapshot stores `(client, state)` entries
+/// only for clients that have participated, so checkpoint size scales with
+/// participants instead of federation size. v3 snapshots (dense state
+/// vectors) are migrated on load — dense entries that are
+/// indistinguishable from "never participated" are dropped, which is
+/// behavior-preserving, so a migrated *synchronous* resume stays
+/// bit-identical (pinned by a test). A semi-async v3 resume is faithful
+/// to *this* engine but not to the pre-v4 binary that wrote it: the
+/// semi-async redispatch selection changed from pool-materializing
+/// `select_among` to the O(K) `select_idle` in the population-scale
+/// rework, so dispatches from the resume point follow the new stream.
+/// Older versions predate fields that cannot be reconstructed, so
+/// [`Checkpoint::load`] rejects them with a clear error (the version is
+/// checked *before* full deserialization, so a foreign snapshot reports
+/// its version instead of a confusing missing-field error).
+pub const CHECKPOINT_VERSION: u32 = 4;
+
+/// One sparse client-state entry of a v4 snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClientEntry {
+    /// Client id within the federation.
+    pub client: usize,
+    /// The client's persistent state.
+    pub state: ClientState,
+}
 
 /// A serialized simulation snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -40,8 +60,9 @@ pub struct Checkpoint {
     pub round: usize,
     /// Global model parameters.
     pub global: Vec<f32>,
-    /// Per-client persistent state.
-    pub states: Vec<ClientState>,
+    /// Per-client persistent state — sparse: only clients that have
+    /// participated carry an entry, in ascending client order.
+    pub states: Vec<ClientEntry>,
     /// Server-side algorithm state (momentum buffers etc.).
     pub server_state: Vec<Vec<f32>>,
     /// Round records so far.
@@ -52,6 +73,64 @@ pub struct Checkpoint {
     /// Scheduler position: fold counter plus in-flight / buffered jobs
     /// (empty for the stateless synchronous scheduler).
     pub scheduler: SchedulerState,
+}
+
+/// The v3 snapshot layout (dense client states), kept for migration.
+/// `Serialize` stays derived so tests can author v3 fixtures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+pub struct CheckpointV3 {
+    /// Snapshot format version (always 3).
+    pub version: u32,
+    /// Engine configuration.
+    pub config: SimulationConfig,
+    /// Which method was running.
+    pub algorithm: AlgorithmKind,
+    /// Its hyper-parameters.
+    pub hyper: HyperParams,
+    /// Rounds completed.
+    pub round: usize,
+    /// Global model parameters.
+    pub global: Vec<f32>,
+    /// Dense per-client state (one entry per client, participant or not).
+    pub states: Vec<ClientState>,
+    /// Server-side algorithm state.
+    pub server_state: Vec<Vec<f32>>,
+    /// Round records so far.
+    pub records: Vec<RoundRecord>,
+    /// Virtual-clock instant at capture.
+    pub clock: f64,
+    /// Scheduler position.
+    pub scheduler: SchedulerState,
+}
+
+impl CheckpointV3 {
+    /// Migrate a dense v3 snapshot to the sparse v4 layout: vacant states
+    /// (indistinguishable from never-participated) are dropped; everything
+    /// else carries over unchanged, so a resumed synchronous run is
+    /// bit-identical (see [`CHECKPOINT_VERSION`] for the semi-async
+    /// redispatch caveat).
+    pub fn migrate(self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.config,
+            algorithm: self.algorithm,
+            hyper: self.hyper,
+            round: self.round,
+            global: self.global,
+            states: self
+                .states
+                .into_iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_vacant())
+                .map(|(client, state)| ClientEntry { client, state })
+                .collect(),
+            server_state: self.server_state,
+            records: self.records,
+            clock: self.clock,
+            scheduler: self.scheduler,
+        }
+    }
 }
 
 impl Checkpoint {
@@ -67,7 +146,14 @@ impl Checkpoint {
             hyper,
             round: sim.rounds_done(),
             global: sim.global_params().to_vec(),
-            states: sim.client_states().to_vec(),
+            states: sim
+                .client_states()
+                .iter()
+                .map(|(client, state)| ClientEntry {
+                    client,
+                    state: state.clone(),
+                })
+                .collect(),
             server_state: sim.algorithm_server_state(),
             records: sim.records().to_vec(),
             clock: sim.virtual_time(),
@@ -77,7 +163,40 @@ impl Checkpoint {
 
     /// Rebuild a simulation that continues exactly where the snapshot
     /// stopped.
-    pub fn restore(&self) -> Simulation {
+    ///
+    /// A snapshot that does not fit its own recorded configuration (wrong
+    /// parameter count, client entries beyond the federation, inconsistent
+    /// record count) returns a clean [`RestoreError`] instead of panicking
+    /// — this is also the path v3→v4 migrated snapshots are validated
+    /// through.
+    pub fn restore(&self) -> Result<Simulation, RestoreError> {
+        // a corrupted/hand-edited snapshot must not reach Simulation::new's
+        // asserts: re-check its invariants as a clean error first
+        self.config
+            .validate()
+            .map_err(RestoreError::InvalidConfig)?;
+        // the scheduler's in-flight/buffered jobs also carry client ids;
+        // validate them here so a shrunken-config or corrupt snapshot
+        // errors cleanly instead of panicking rounds later
+        for job in self
+            .scheduler
+            .in_flight
+            .iter()
+            .chain(&self.scheduler.buffer)
+        {
+            if job.client >= self.config.n_clients {
+                return Err(RestoreError::InvalidClientStates(format!(
+                    "scheduler job for client {} out of range for a federation of {}",
+                    job.client, self.config.n_clients
+                )));
+            }
+            if job.outcome.params.len() != self.global.len() {
+                return Err(RestoreError::GlobalSizeMismatch {
+                    snapshot: job.outcome.params.len(),
+                    expected: self.global.len(),
+                });
+            }
+        }
         let alg = self.algorithm.build(&self.hyper);
         let mut sim = Simulation::new(self.config, alg);
         // order matters: Simulation::new ran on_init, which sized-and-zeroed
@@ -86,11 +205,11 @@ impl Checkpoint {
         sim.restore_snapshot(
             self.round,
             self.global.clone(),
-            self.states.clone(),
+            self.states.iter().map(|e| (e.client, e.state.clone())),
             self.records.clone(),
-        );
+        )?;
         sim.restore_runtime(self.clock, self.scheduler.clone());
-        sim
+        Ok(sim)
     }
 
     /// Write the snapshot as JSON.
@@ -103,11 +222,12 @@ impl Checkpoint {
         fs::write(path, json)
     }
 
-    /// Read a snapshot back.
+    /// Read a snapshot back, migrating the previous (dense-state) v3
+    /// format transparently.
     ///
-    /// Rejects snapshots whose `version` differs from
-    /// [`CHECKPOINT_VERSION`] (including pre-versioning files, which lack
-    /// the field entirely).
+    /// Rejects snapshots whose `version` is neither [`CHECKPOINT_VERSION`]
+    /// nor 3 (including pre-versioning files, which lack the field
+    /// entirely).
     pub fn load(path: &Path) -> io::Result<Checkpoint> {
         let body = fs::read_to_string(path)?;
         // check the version off the raw JSON first: a snapshot from another
@@ -116,19 +236,28 @@ impl Checkpoint {
         let value: serde_json::Value = serde_json::from_str(&body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         let version = value.get("version").and_then(|v| v.as_u64());
-        if version != Some(CHECKPOINT_VERSION as u64) {
-            return Err(io::Error::new(
+        match version {
+            Some(v) if v == CHECKPOINT_VERSION as u64 => {
+                let ckpt: Checkpoint = serde::Deserialize::from_value(&value)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(ckpt)
+            }
+            Some(3) => {
+                let legacy: CheckpointV3 = serde::Deserialize::from_value(&value)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(legacy.migrate())
+            }
+            other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!(
-                    "checkpoint format version {} unsupported (expected {})",
-                    version.map(|v| v.to_string()).unwrap_or_else(|| "<missing>".into()),
+                    "checkpoint format version {} unsupported (expected {} or 3)",
+                    other
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "<missing>".into()),
                     CHECKPOINT_VERSION
                 ),
-            ));
+            )),
         }
-        let ckpt: Checkpoint = serde::Deserialize::from_value(&value)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        Ok(ckpt)
     }
 }
 
@@ -168,7 +297,7 @@ mod tests {
             first.run_round();
         }
         let ckpt = Checkpoint::capture(&first, kind, hyper);
-        let mut resumed = ckpt.restore();
+        let mut resumed = ckpt.restore().expect("self-consistent checkpoint");
         resumed.run();
 
         assert_eq!(
@@ -228,12 +357,17 @@ mod tests {
         }
         let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
         assert!(
-            ckpt.states.iter().any(|s| s.residual.is_some()),
+            ckpt.states.iter().any(|e| e.state.residual.is_some()),
             "no residual captured"
         );
-        let restored = ckpt.restore();
-        for (a, b) in ckpt.states.iter().zip(restored.client_states()) {
-            assert_eq!(a.residual, b.residual);
+        let restored = ckpt.restore().expect("self-consistent checkpoint");
+        for e in &ckpt.states {
+            assert_eq!(
+                Some(&e.state.residual),
+                restored.client_states().get(e.client).map(|s| &s.residual),
+                "client {}",
+                e.client
+            );
         }
     }
 
@@ -278,8 +412,150 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded.round, 2);
         assert_eq!(loaded.global, ckpt.global);
-        let mut resumed = loaded.restore();
+        let mut resumed = loaded.restore().expect("self-consistent checkpoint");
         resumed.run_round();
         assert_eq!(resumed.rounds_done(), 3);
+    }
+
+    #[test]
+    fn snapshots_are_sparse_in_participants() {
+        let hyper = HyperParams::default();
+        let mut sim = Simulation::new(cfg(40), AlgorithmKind::FedTrip.build(&hyper));
+        sim.run_round();
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedTrip, hyper);
+        // one round of K=3: at most 3 entries, never one per client
+        assert!(!ckpt.states.is_empty());
+        assert!(ckpt.states.len() <= 3, "{} entries", ckpt.states.len());
+        // ascending client order (deterministic serialization)
+        assert!(ckpt.states.windows(2).all(|w| w[0].client < w[1].client));
+    }
+
+    #[test]
+    fn v3_dense_snapshot_migrates_and_resumes_bit_identically() {
+        let hyper = HyperParams::default();
+        let config = cfg(41);
+        // straight 8-round run as ground truth
+        let mut straight = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        straight.run();
+
+        // 4 rounds, then author a v3 (dense-states) snapshot by hand
+        let mut first = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        for _ in 0..4 {
+            first.run_round();
+        }
+        let v4 = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let dense: Vec<ClientState> = (0..config.n_clients)
+            .map(|c| first.client_states().get(c).cloned().unwrap_or_default())
+            .collect();
+        let legacy = CheckpointV3 {
+            version: 3,
+            config: v4.config,
+            algorithm: v4.algorithm,
+            hyper: v4.hyper,
+            round: v4.round,
+            global: v4.global.clone(),
+            states: dense,
+            server_state: v4.server_state.clone(),
+            records: v4.records.clone(),
+            clock: v4.clock,
+            scheduler: v4.scheduler.clone(),
+        };
+        let path = std::env::temp_dir().join("fedtrip_ckpt_v3_migration_test.json");
+        fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
+
+        let migrated = Checkpoint::load(&path).unwrap();
+        assert_eq!(migrated.version, CHECKPOINT_VERSION);
+        let mut resumed = migrated.restore().expect("migrated checkpoint restores");
+        resumed.run();
+        assert_eq!(
+            straight.global_params(),
+            resumed.global_params(),
+            "v3-migrated resume diverged from the straight run"
+        );
+    }
+
+    #[test]
+    fn restore_reports_clean_error_on_config_mismatch() {
+        let hyper = HyperParams::default();
+        let mut sim = Simulation::new(cfg(42), AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let mut ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        // shrink the federation below a recorded participant id: the old
+        // engine hard-asserted here; now it must surface a RestoreError
+        let max_client = ckpt.states.iter().map(|e| e.client).max().unwrap();
+        ckpt.config.n_clients = max_client; // ids are 0-based: now out of range
+        ckpt.config.clients_per_round = ckpt.config.clients_per_round.min(max_client);
+        let err = ckpt.restore().map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, crate::engine::RestoreError::InvalidClientStates(_)),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        // records/round mismatch is also a clean error
+        let mut ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        ckpt.round = 5;
+        let err = ckpt.restore().map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, crate::engine::RestoreError::RecordsMismatch { .. }),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_config_without_panicking() {
+        let hyper = HyperParams::default();
+        let mut sim = Simulation::new(cfg(44), AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let good = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        // each corruption used to hit a Simulation::new assert (panic);
+        // all must now surface as a clean RestoreError
+        type Corrupt = fn(&mut Checkpoint);
+        let corruptions: [(&str, Corrupt); 4] = [
+            ("K > N", |c| {
+                c.config.clients_per_round = c.config.n_clients + 1
+            }),
+            ("zero rounds", |c| c.config.rounds = 0),
+            ("zero eval_every", |c| c.config.eval_every = 0),
+            ("sub-unit device_het", |c| c.config.device_het = 0.5),
+        ];
+        for (name, corrupt) in corruptions {
+            let mut ckpt = good.clone();
+            corrupt(&mut ckpt);
+            let err = ckpt.restore().map(|_| ()).unwrap_err();
+            assert!(
+                matches!(err, crate::engine::RestoreError::InvalidConfig(_)),
+                "{name}: unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_scheduler_jobs() {
+        let hyper = HyperParams::default();
+        let mut c = cfg(43);
+        c.mode = crate::runtime::RunMode::SemiAsync;
+        c.device_het = 4.0;
+        let mut sim = Simulation::new(c, AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let mut ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        assert!(
+            !ckpt.scheduler.in_flight.is_empty(),
+            "semi-async capture should carry in-flight jobs"
+        );
+        // shrink the federation below a dispatched client id: must be a
+        // clean RestoreError, not a panic rounds after resume
+        let max_client = ckpt
+            .scheduler
+            .in_flight
+            .iter()
+            .chain(&ckpt.scheduler.buffer)
+            .map(|j| j.client)
+            .max()
+            .unwrap();
+        ckpt.config.n_clients = max_client;
+        ckpt.config.clients_per_round = ckpt.config.clients_per_round.min(max_client.max(1));
+        let err = ckpt.restore().map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("scheduler job"), "{err}");
     }
 }

@@ -7,7 +7,7 @@
 //! [`ClientExecutor`] owns the
 //! rayon-parallel local-training fan-out, a [`Scheduler`] owns *when*
 //! results fold into the global model, and a [`VirtualClock`] plus
-//! per-client [`DeviceProfile`]s turn the Appendix-A cost accounting
+//! per-client [`DeviceProfiles`] turn the Appendix-A cost accounting
 //! (FLOPs, bytes) into virtual seconds.
 //!
 //! Two schedulers ship: [`RunMode::Sync`] reproduces the paper's §III-A
@@ -20,15 +20,15 @@
 //! the runtime split — the virtual wall-clock behind a time-to-accuracy
 //! metric.
 
-use crate::algorithms::{Algorithm, ClientState};
+use crate::algorithms::{Algorithm, ClientStateStore};
 use crate::compression::{CompressionKind, Compressor};
 use crate::costs::CostModel;
+use crate::runtime::ClientExecutor;
 use crate::runtime::{
-    DeviceProfile, RuntimeCtx, Sampler, Scheduler, SchedulerState, SemiAsync, StepOutput,
-    Synchronous, VirtualClock,
+    ClientSizes, DeviceProfiles, RuntimeCtx, Sampler, Scheduler, SchedulerState, SemiAsync,
+    StepOutput, Synchronous, VirtualClock,
 };
 pub use crate::runtime::{RunMode, SelectionStrategy};
-use crate::runtime::ClientExecutor;
 use fedtrip_data::partition::{HeterogeneityKind, Partition};
 use fedtrip_data::synth::{DatasetKind, SyntheticVision};
 use fedtrip_models::ModelKind;
@@ -142,6 +142,34 @@ impl SimulationConfig {
             self.async_buffer
         }
     }
+
+    /// Check the invariants [`Simulation::new`] would otherwise assert
+    /// (and panic on). Used by checkpoint restore so a corrupted or
+    /// hand-edited snapshot surfaces a clean error instead of a panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_clients == 0 {
+            return Err("need at least one client".into());
+        }
+        if self.clients_per_round == 0 || self.clients_per_round > self.n_clients {
+            return Err("clients_per_round must be in 1..=n_clients".into());
+        }
+        if self.rounds == 0 {
+            return Err("need at least one round".into());
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        if self.device_het.is_nan() || self.device_het < 1.0 {
+            return Err("device_het must be >= 1".into());
+        }
+        if self.client_samples_override == Some(0) {
+            return Err("client_samples_override must be positive".into());
+        }
+        if self.staleness_exponent.is_nan() || self.staleness_exponent < 0.0 {
+            return Err("staleness exponent must be non-negative".into());
+        }
+        Ok(())
+    }
 }
 
 /// Measurements of one communication round (sync) / server fold (semi-async).
@@ -163,7 +191,7 @@ pub struct RoundRecord {
     /// sync mode, virtual-arrival order in semi-async mode).
     pub selected: Vec<usize>,
     /// Virtual wall-clock at the end of this round, in seconds (device
-    /// compute + link time under the per-client [`DeviceProfile`]s).
+    /// compute + link time under the per-client [`DeviceProfiles`]).
     pub virtual_time: f64,
     /// Mean staleness of the folded updates (always `0` in sync mode).
     pub mean_staleness: f64,
@@ -175,6 +203,57 @@ pub struct RoundRecord {
     pub compression_ratio: f64,
 }
 
+/// A clean (non-panicking) error for a checkpoint/config mismatch at
+/// restore time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot's global parameter vector does not match this
+    /// simulation's model.
+    GlobalSizeMismatch {
+        /// Parameters in the snapshot.
+        snapshot: usize,
+        /// Parameters this simulation's model has.
+        expected: usize,
+    },
+    /// A client-state entry is invalid for this federation (out-of-range
+    /// id or duplicate).
+    InvalidClientStates(String),
+    /// The snapshot's recorded configuration is internally inconsistent
+    /// (would fail [`Simulation::new`]'s invariants).
+    InvalidConfig(String),
+    /// The number of round records does not match the recorded round
+    /// counter.
+    RecordsMismatch {
+        /// Records carried by the snapshot.
+        records: usize,
+        /// Rounds the snapshot claims completed.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::GlobalSizeMismatch { snapshot, expected } => write!(
+                f,
+                "snapshot holds {snapshot} global parameters but the configured model has {expected}"
+            ),
+            RestoreError::InvalidClientStates(msg) => {
+                write!(f, "invalid client states: {msg}")
+            }
+            RestoreError::InvalidConfig(msg) => {
+                write!(f, "invalid snapshot configuration: {msg}")
+            }
+            RestoreError::RecordsMismatch { records, round } => write!(
+                f,
+                "snapshot carries {records} round records but claims {round} completed rounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// A running federated simulation.
 pub struct Simulation {
     cfg: SimulationConfig,
@@ -183,7 +262,7 @@ pub struct Simulation {
     partition: Partition,
     template: Sequential,
     global: Vec<f32>,
-    states: Vec<ClientState>,
+    states: ClientStateStore,
     test_x: Tensor,
     test_y: Vec<usize>,
     round: usize,
@@ -191,21 +270,25 @@ pub struct Simulation {
     cum_comm_bytes: f64,
     cum_flops: f64,
     sampler: Sampler,
-    profiles: Vec<DeviceProfile>,
+    profiles: DeviceProfiles,
     clock: VirtualClock,
     scheduler: Box<dyn Scheduler>,
     compressor: Box<dyn Compressor>,
 }
 
 impl Simulation {
-    /// Build a simulation: synthesizes the dataset, partitions it,
-    /// initializes the global model, derives device profiles, and
-    /// constructs the configured scheduler.
+    /// Build a simulation: synthesizes the dataset, sets up the (lazy)
+    /// partition, initializes the global model, derives device profiles,
+    /// and constructs the configured scheduler.
+    ///
+    /// Construction is O(1) in `n_clients`: client shards, device profiles
+    /// and client states all materialize on first participation, so a
+    /// 10⁵-client federation costs no more to stand up than a 10-client
+    /// one.
     ///
     /// # Panics
-    /// Panics on inconsistent configuration (zero clients, `K > N`, more
-    /// requested samples than the dataset holds, model/dataset shape
-    /// mismatch, `device_het < 1`).
+    /// Panics on inconsistent configuration (zero clients, `K > N`,
+    /// model/dataset shape mismatch, `device_het < 1`).
     pub fn new(cfg: SimulationConfig, mut algorithm: Box<dyn Algorithm>) -> Self {
         assert!(cfg.n_clients > 0, "need at least one client");
         assert!(
@@ -228,7 +311,9 @@ impl Simulation {
             cfg.n_clients,
             cfg.seed ^ 0x009A_2717,
         );
-        let template = cfg.model.build(&spec.sample_shape(), spec.classes, cfg.seed);
+        let template = cfg
+            .model
+            .build(&spec.sample_shape(), spec.classes, cfg.seed);
         let global = template.params_flat();
         algorithm.on_init(cfg.n_clients, global.len());
         let (test_x, test_y) = dataset.test_set(cfg.test_per_class);
@@ -237,9 +322,12 @@ impl Simulation {
             cfg.clients_per_round,
             cfg.selection,
             cfg.failure_prob,
-            partition.clients.iter().map(|c| c.len()).collect(),
+            ClientSizes::Uniform {
+                n_clients: cfg.n_clients,
+                samples: partition.client_samples(),
+            },
         );
-        let profiles = DeviceProfile::federation(cfg.seed, cfg.n_clients, cfg.device_het as f64);
+        let profiles = DeviceProfiles::new(cfg.seed, cfg.n_clients, cfg.device_het as f64);
         let scheduler: Box<dyn Scheduler> = match cfg.mode {
             RunMode::Sync => Box::new(Synchronous),
             RunMode::SemiAsync => Box::new(SemiAsync::new(
@@ -254,7 +342,7 @@ impl Simulation {
             partition,
             template,
             global,
-            states: vec![ClientState::default(); cfg.n_clients],
+            states: ClientStateStore::new(cfg.n_clients),
             test_x,
             test_y,
             round: 0,
@@ -284,9 +372,20 @@ impl Simulation {
         &self.global
     }
 
-    /// Per-client state (participation history etc.).
-    pub fn client_states(&self) -> &[ClientState] {
+    /// Per-client state (participation history etc.) — sparse: only
+    /// clients that have participated hold an entry.
+    pub fn client_states(&self) -> &ClientStateStore {
         &self.states
+    }
+
+    /// Force every client's state resident (defaults where absent).
+    ///
+    /// Semantically a no-op — an explicit default entry behaves exactly
+    /// like absence — kept as the handle the sparse≡dense equivalence
+    /// tests use to run the engine against a dense store. O(N) memory;
+    /// never called by the engine itself.
+    pub fn prefill_dense_states(&mut self) {
+        self.states.prefill_dense();
     }
 
     /// Round records so far.
@@ -304,9 +403,9 @@ impl Simulation {
         self.clock.now()
     }
 
-    /// Per-client device profiles in effect.
-    pub fn device_profiles(&self) -> &[DeviceProfile] {
-        &self.profiles
+    /// Per-client device profiles in effect (derived lazily per client).
+    pub fn device_profiles(&self) -> DeviceProfiles {
+        self.profiles
     }
 
     /// A copy of the global model as a ready-to-use network.
@@ -337,27 +436,42 @@ impl Simulation {
     /// parameters, client states and records; cumulative accounting and the
     /// virtual clock are recovered from the last record.
     ///
-    /// # Panics
-    /// Panics when the snapshot's shapes don't match this simulation.
+    /// A snapshot that does not fit this simulation — wrong parameter
+    /// count, client ids beyond the configured federation, inconsistent
+    /// record count — returns a [`RestoreError`] instead of panicking, so a
+    /// config/checkpoint mismatch surfaces as a clean error the caller can
+    /// report. On error the simulation is left untouched.
     pub fn restore_snapshot(
         &mut self,
         round: usize,
         global: Vec<f32>,
-        states: Vec<ClientState>,
+        states: impl IntoIterator<Item = (usize, crate::algorithms::ClientState)>,
         records: Vec<RoundRecord>,
-    ) {
-        assert_eq!(global.len(), self.global.len(), "global size mismatch");
-        assert_eq!(states.len(), self.states.len(), "client count mismatch");
-        assert_eq!(records.len(), round, "records/round mismatch");
+    ) -> Result<(), RestoreError> {
+        if global.len() != self.global.len() {
+            return Err(RestoreError::GlobalSizeMismatch {
+                snapshot: global.len(),
+                expected: self.global.len(),
+            });
+        }
+        let store = ClientStateStore::from_entries(self.cfg.n_clients, states)
+            .map_err(RestoreError::InvalidClientStates)?;
+        if records.len() != round {
+            return Err(RestoreError::RecordsMismatch {
+                records: records.len(),
+                round,
+            });
+        }
         self.round = round;
         self.global = global;
-        self.states = states;
+        self.states = store;
         if let Some(last) = records.last() {
             self.cum_comm_bytes = last.cum_comm_bytes;
             self.cum_flops = last.cum_flops;
             self.clock.restore(last.virtual_time);
         }
         self.records = records;
+        Ok(())
     }
 
     /// Restore the runtime layer from a checkpoint: the exact virtual-clock
@@ -371,7 +485,7 @@ impl Simulation {
     /// The Appendix-A cost model for this configuration (uses the nominal
     /// iteration count `ceil(samples / batch) * epochs`).
     pub fn cost_model(&self) -> CostModel {
-        let samples = self.partition.clients[0].len();
+        let samples = self.partition.client_samples();
         CostModel {
             n_params: self.template.num_params(),
             fp_per_sample: self.template.flops_forward(),
@@ -406,6 +520,7 @@ impl Simulation {
         let comm_per_client = down_bytes + up_bytes;
 
         let StepOutput {
+            fold,
             folded,
             participants,
         } = {
@@ -437,7 +552,9 @@ impl Simulation {
         let mean_staleness =
             folded.iter().map(|o| o.staleness as f64).sum::<f64>() / folded.len().max(1) as f64;
 
-        self.algorithm.server_update(&mut self.global, &folded, t);
+        // the scheduler already streamed every arrival into `fold`; all
+        // that is left is the method's finish step
+        self.algorithm.server_finish(&mut self.global, fold, t);
 
         let accuracy = if t.is_multiple_of(self.cfg.eval_every) {
             Some(self.evaluate())
@@ -653,13 +770,17 @@ mod tests {
             .iter()
             .flat_map(|r| r.selected.iter().copied())
             .collect();
-        for (c, st) in s.client_states().iter().enumerate() {
+        for c in 0..6 {
             assert_eq!(
-                st.last_round.is_some(),
+                s.client_states()
+                    .get(c)
+                    .is_some_and(|st| st.last_round.is_some()),
                 participated.contains(&c),
                 "client {c}"
             );
         }
+        // the store stays sparse: exactly the participants are resident
+        assert_eq!(s.client_states().resident(), participated.len());
     }
 
     #[test]
@@ -807,7 +928,10 @@ mod tests {
                 saw_shrunk = true;
             }
         }
-        assert!(saw_shrunk, "failure injection never dropped anyone at p=0.7");
+        assert!(
+            saw_shrunk,
+            "failure injection never dropped anyone at p=0.7"
+        );
     }
 
     #[test]
@@ -830,9 +954,14 @@ mod tests {
         let mut constant =
             Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
         let mut decayed_cfg = cfg;
-        decayed_cfg.lr_schedule = LrSchedule::StepDecay { every: 2, factor: 0.1 };
-        let mut decayed =
-            Simulation::new(decayed_cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        decayed_cfg.lr_schedule = LrSchedule::StepDecay {
+            every: 2,
+            factor: 0.1,
+        };
+        let mut decayed = Simulation::new(
+            decayed_cfg,
+            AlgorithmKind::FedAvg.build(&HyperParams::default()),
+        );
         constant.run();
         decayed.run();
         assert_ne!(constant.global_params(), decayed.global_params());
@@ -844,7 +973,12 @@ mod tests {
         s.run();
         let mut prev = 0.0;
         for r in s.records() {
-            assert!(r.virtual_time > prev, "round {}: {}", r.round, r.virtual_time);
+            assert!(
+                r.virtual_time > prev,
+                "round {}: {}",
+                r.round,
+                r.virtual_time
+            );
             assert_eq!(r.mean_staleness, 0.0);
             prev = r.virtual_time;
         }
@@ -857,8 +991,10 @@ mod tests {
         let mut het_cfg = cfg;
         het_cfg.device_het = 4.0;
         let mut homo = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
-        let mut het =
-            Simulation::new(het_cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        let mut het = Simulation::new(
+            het_cfg,
+            AlgorithmKind::FedAvg.build(&HyperParams::default()),
+        );
         homo.run();
         het.run();
         // identical learning trajectory...
@@ -902,11 +1038,20 @@ mod tests {
         q8.run();
         let d = dense.records().last().unwrap();
         let q = q8.records().last().unwrap();
-        assert!(q.cum_comm_bytes < d.cum_comm_bytes, "{} vs {}", q.cum_comm_bytes, d.cum_comm_bytes);
+        assert!(
+            q.cum_comm_bytes < d.cum_comm_bytes,
+            "{} vs {}",
+            q.cum_comm_bytes,
+            d.cum_comm_bytes
+        );
         assert!(q.comm_bytes_up < d.comm_bytes_up);
         assert_eq!(d.compression_ratio, 1.0);
         // q8 is one byte per value plus an 8-byte header: just under 4x
-        assert!(q.compression_ratio > 3.5 && q.compression_ratio < 4.0, "{}", q.compression_ratio);
+        assert!(
+            q.compression_ratio > 3.5 && q.compression_ratio < 4.0,
+            "{}",
+            q.compression_ratio
+        );
         // ...and the compressed link shortens the round trip
         assert!(q8.virtual_time() < dense.virtual_time());
     }
@@ -932,7 +1077,9 @@ mod tests {
         let mut s = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
         s.run();
         assert!(
-            s.client_states().iter().any(|st| st.residual.is_some()),
+            s.client_states()
+                .iter()
+                .any(|(_, st)| st.residual.is_some()),
             "no residual recorded under top-k with error feedback"
         );
         // feedback off: residuals never materialize
@@ -940,7 +1087,10 @@ mod tests {
         cfg.compression = crate::compression::CompressionKind::TopK(0.1);
         let mut s = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
         s.run();
-        assert!(s.client_states().iter().all(|st| st.residual.is_none()));
+        assert!(s
+            .client_states()
+            .iter()
+            .all(|(_, st)| st.residual.is_none()));
     }
 
     #[test]

@@ -248,9 +248,7 @@ mod tests {
 
     #[test]
     fn smoke_run_end_to_end() {
-        let records = ExperimentSpec::quickstart()
-            .with_scale(Scale::Smoke)
-            .run();
+        let records = ExperimentSpec::quickstart().with_scale(Scale::Smoke).run();
         assert!(!records.is_empty());
         assert!(records.last().unwrap().accuracy.is_some());
     }

@@ -113,7 +113,11 @@ impl DeviceProfile {
         }
     }
 
-    /// Profiles for a whole federation.
+    /// Profiles for a whole federation, materialized eagerly.
+    ///
+    /// O(n_clients) memory — fine for analysis over paper-scale
+    /// federations; the engine itself uses the lazy [`DeviceProfiles`] so
+    /// population size stays off the memory axis.
     pub fn federation(seed: u64, n_clients: usize, speed_spread: f64) -> Vec<DeviceProfile> {
         (0..n_clients)
             .map(|c| DeviceProfile::derive(seed, c, speed_spread))
@@ -125,6 +129,48 @@ impl DeviceProfile {
     pub fn duration(&self, flops: f64, comm_bytes: f64) -> f64 {
         flops * self.compute_multiplier / BASE_FLOPS_PER_SEC
             + comm_bytes / self.bandwidth_bytes_per_sec
+    }
+}
+
+/// Lazily derived device profiles for a whole federation.
+///
+/// Since a profile is a pure function of `(seed, client, spread)`, nothing
+/// needs to be stored per client: `get` derives on demand, so a
+/// 10⁵-client federation costs the same three words as a 10-client one.
+/// Bit-identical to indexing an eager [`DeviceProfile::federation`] vector.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceProfiles {
+    seed: u64,
+    n_clients: usize,
+    speed_spread: f64,
+}
+
+impl DeviceProfiles {
+    /// Lazy profiles for `n_clients` devices under the given speed spread.
+    ///
+    /// # Panics
+    /// Panics when `speed_spread < 1`.
+    pub fn new(seed: u64, n_clients: usize, speed_spread: f64) -> Self {
+        assert!(speed_spread >= 1.0, "speed_spread must be >= 1");
+        DeviceProfiles {
+            seed,
+            n_clients,
+            speed_spread,
+        }
+    }
+
+    /// Federation size.
+    pub fn n_clients(&self) -> usize {
+        self.n_clients
+    }
+
+    /// Derive client `c`'s profile.
+    ///
+    /// # Panics
+    /// Panics when `c >= n_clients`.
+    pub fn get(&self, c: usize) -> DeviceProfile {
+        assert!(c < self.n_clients, "client {c} out of range");
+        DeviceProfile::derive(self.seed, c, self.speed_spread)
     }
 }
 
@@ -164,6 +210,22 @@ mod tests {
         let max = a.iter().map(|p| p.compute_multiplier).fold(1.0, f64::max);
         let min = a.iter().map(|p| p.compute_multiplier).fold(4.0, f64::min);
         assert!(max / min > 1.5, "spread {}", max / min);
+    }
+
+    #[test]
+    fn lazy_profiles_match_eager_federation() {
+        let eager = DeviceProfile::federation(7, 20, 4.0);
+        let lazy = DeviceProfiles::new(7, 20, 4.0);
+        assert_eq!(lazy.n_clients(), 20);
+        for (c, p) in eager.iter().enumerate() {
+            assert_eq!(*p, lazy.get(c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lazy_profiles_bound_check() {
+        let _ = DeviceProfiles::new(7, 4, 1.0).get(4);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! actually travelled the wire.
 //!
 //! ```
-//! use fedtrip_core::algorithms::{AlgorithmKind, ClientState, HyperParams};
+//! use fedtrip_core::algorithms::{AlgorithmKind, ClientStateStore, HyperParams};
 //! use fedtrip_core::compression::Identity;
 //! use fedtrip_core::engine::SimulationConfig;
 //! use fedtrip_core::runtime::ClientExecutor;
@@ -45,21 +45,27 @@
 //!
 //! // train clients 1 and 3 in parallel from the initial global model
 //! let global = template.params_flat();
-//! let mut states = vec![ClientState::default(); 4];
+//! let mut states = ClientStateStore::new(4);
 //! let algorithm = AlgorithmKind::FedAvg.build(&HyperParams::default());
 //! let outcomes = exec.train_batch(algorithm.as_ref(), &global, &mut states, &[1, 3], 1);
 //! assert_eq!(outcomes.len(), 2);
 //! assert!(outcomes.iter().all(|o| o.iterations > 0));
-//! assert!(states[1].last_round == Some(1) && states[3].last_round == Some(1));
+//! // only the two participants became resident in the sparse store
+//! assert_eq!(states.resident(), 2);
+//! assert_eq!(states.get(1).and_then(|s| s.last_round), Some(1));
+//! assert_eq!(states.get(3).and_then(|s| s.last_round), Some(1));
 //! ```
 
-use crate::algorithms::{Algorithm, ClientData, ClientState, LocalContext, LocalOutcome};
+use crate::algorithms::{
+    Algorithm, ClientData, ClientState, ClientStateStore, LocalContext, LocalOutcome,
+};
 use crate::compression::{error_feedback_step, Compressor};
 use crate::engine::SimulationConfig;
 use fedtrip_data::partition::Partition;
-use fedtrip_data::synth::SyntheticVision;
+use fedtrip_data::synth::{SampleRef, SyntheticVision};
 use fedtrip_tensor::{vecops, Sequential};
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// Shared, read-only context for training a batch of clients.
 pub struct ClientExecutor<'a> {
@@ -81,32 +87,37 @@ impl ClientExecutor<'_> {
     /// Train `clients` in parallel from `global`, as server step `round`
     /// (1-based; also the LR-schedule index and the RNG stream tag).
     ///
-    /// Client states are taken out of `states` for the duration of training
-    /// and returned afterwards; outcomes come back in `clients` order.
+    /// Client states are taken out of the sparse `states` store for the
+    /// duration of training and returned afterwards (which is what makes a
+    /// client *resident*: only clients that ever reach this point hold a
+    /// store entry); outcomes come back in `clients` order. The round's
+    /// shards are materialized from the lazy partition **before** the
+    /// parallel fan-out, so the memo fill stays deterministic and
+    /// lock-free workers only read.
     pub fn train_batch(
         &self,
         algorithm: &dyn Algorithm,
         global: &[f32],
-        states: &mut [ClientState],
+        states: &mut ClientStateStore,
         clients: &[usize],
         round: usize,
     ) -> Vec<LocalOutcome> {
-        // pull the selected clients' states out so rayon workers own them
-        let mut taken: Vec<(usize, ClientState)> = clients
+        // pull the selected clients' states (and shards) so rayon workers
+        // own everything they need
+        let mut taken: Vec<(usize, ClientState, Arc<[SampleRef]>)> = clients
             .iter()
-            .map(|&c| (c, std::mem::take(&mut states[c])))
+            .map(|&c| (c, states.take(c), self.partition.shard(c)))
             .collect();
 
         let cfg = self.cfg;
         let dataset = self.dataset;
-        let partition = self.partition;
         let template = self.template;
         let compressor = self.compressor;
         let round_lr = cfg.lr_schedule.lr_at(cfg.lr, round);
 
         let outcomes: Vec<LocalOutcome> = taken
             .par_iter_mut()
-            .map(|(client_id, state)| {
+            .map(|(client_id, state, shard)| {
                 let mut net = template.clone();
                 net.set_params_flat(global);
                 let ctx = LocalContext {
@@ -122,7 +133,7 @@ impl ClientExecutor<'_> {
                 };
                 let data = ClientData {
                     dataset,
-                    refs: &partition.clients[*client_id],
+                    refs: &shard[..],
                 };
                 let mut outcome = algorithm.local_train(&mut net, &data, state, &ctx);
                 if !compressor.is_identity() {
@@ -133,8 +144,8 @@ impl ClientExecutor<'_> {
             .collect();
 
         // return states
-        for (c, s) in taken {
-            states[c] = s;
+        for (c, s, _) in taken {
+            states.put(c, s);
         }
         outcomes
     }
@@ -162,7 +173,8 @@ fn compress_outcome(
     error_feedback: bool,
 ) {
     let delta = vecops::sub(&outcome.params, global);
-    let (decoded, _wire) = error_feedback_step(compressor, &delta, &mut state.residual, error_feedback);
+    let (decoded, _wire) =
+        error_feedback_step(compressor, &delta, &mut state.residual, error_feedback);
     let mut params = global.to_vec();
     vecops::axpy(&mut params, 1.0, &decoded);
     outcome.params = params;

@@ -27,17 +27,26 @@
 //! executor→scheduler boundary: outcomes are encoded/decoded before any
 //! scheduler sees them, and both schedulers charge the *encoded* uplink
 //! bytes to the clock through `RuntimeCtx::comm_bytes_per_client`.
+//!
+//! Every layer is O(K) per server step and O(participants) in resident
+//! memory — client states live in a sparse store, partition shards and
+//! device profiles derive lazily on first participation, selection runs a
+//! sparse Fisher–Yates, and both schedulers stream arrivals into a running
+//! weighted fold — so federation size is not a cost axis (proven flat from
+//! N = 1k to N = 100k by the `population_scale` bench and CI's
+//! `bench_gate`).
 
 pub mod clock;
 pub mod executor;
 pub mod sampler;
 pub mod scheduler;
 
-pub use clock::{DeviceProfile, VirtualClock};
+pub use clock::{DeviceProfile, DeviceProfiles, VirtualClock};
 pub use executor::ClientExecutor;
-pub use sampler::{Sampler, SelectionStrategy};
+pub use sampler::{ClientSizes, Sampler, SelectionStrategy};
 pub use scheduler::{
-    staleness_weight, RuntimeCtx, Scheduler, SchedulerState, SemiAsync, StepOutput, Synchronous,
+    staleness_weight, FoldStats, RuntimeCtx, Scheduler, SchedulerState, SemiAsync, StepOutput,
+    Synchronous,
 };
 
 use serde::{Deserialize, Serialize};

@@ -46,6 +46,56 @@ impl SelectionStrategy {
     }
 }
 
+/// Per-client sample counts, without forcing an O(N) vector on the uniform
+/// case.
+///
+/// The lazy partition guarantees every client the same quota, so the engine
+/// describes a 10⁵-client federation in three words
+/// ([`ClientSizes::Uniform`]); an explicit per-client vector stays available
+/// for hand-built federations and the `WeightedBySamples` strategy's tests.
+#[derive(Debug, Clone)]
+pub enum ClientSizes {
+    /// Every client holds `samples` samples.
+    Uniform {
+        /// Federation size.
+        n_clients: usize,
+        /// Samples per client.
+        samples: usize,
+    },
+    /// Explicit per-client sample counts.
+    PerClient(Vec<usize>),
+}
+
+impl ClientSizes {
+    /// Federation size.
+    pub fn n_clients(&self) -> usize {
+        match self {
+            ClientSizes::Uniform { n_clients, .. } => *n_clients,
+            ClientSizes::PerClient(v) => v.len(),
+        }
+    }
+
+    /// Client `c`'s sample count.
+    pub fn get(&self, c: usize) -> usize {
+        match self {
+            ClientSizes::Uniform { samples, .. } => *samples,
+            ClientSizes::PerClient(v) => v[c],
+        }
+    }
+
+    /// Materialize the selection weights (O(N) — only the
+    /// `WeightedBySamples` strategy pays this).
+    fn weights(&self) -> Vec<f64> {
+        (0..self.n_clients()).map(|c| self.get(c) as f64).collect()
+    }
+}
+
+impl From<Vec<usize>> for ClientSizes {
+    fn from(v: Vec<usize>) -> ClientSizes {
+        ClientSizes::PerClient(v)
+    }
+}
+
 /// Owns *who* participates: seeded selection plus straggler injection.
 #[derive(Debug, Clone)]
 pub struct Sampler {
@@ -55,19 +105,21 @@ pub struct Sampler {
     strategy: SelectionStrategy,
     failure_prob: f32,
     /// Per-client sample counts (weights for `WeightedBySamples`).
-    client_sizes: Vec<usize>,
+    client_sizes: ClientSizes,
 }
 
 impl Sampler {
-    /// Build a sampler for a federation.
+    /// Build a sampler for a federation (`client_sizes` may be a plain
+    /// `Vec<usize>` or a [`ClientSizes`]).
     pub fn new(
         seed: u64,
         clients_per_round: usize,
         strategy: SelectionStrategy,
         failure_prob: f32,
-        client_sizes: Vec<usize>,
+        client_sizes: impl Into<ClientSizes>,
     ) -> Self {
-        let n_clients = client_sizes.len();
+        let client_sizes = client_sizes.into();
+        let n_clients = client_sizes.n_clients();
         assert!(n_clients > 0, "need at least one client");
         assert!(
             clients_per_round > 0 && clients_per_round <= n_clients,
@@ -91,11 +143,9 @@ impl Sampler {
         let mut selected = match self.strategy {
             SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
             SelectionStrategy::RoundRobin => (0..k).map(|i| ((t - 1) * k + i) % n).collect(),
-            SelectionStrategy::WeightedBySamples => weighted_draw(
-                &mut sel_rng,
-                self.client_sizes.iter().map(|&c| c as f64).collect(),
-                k,
-            ),
+            SelectionStrategy::WeightedBySamples => {
+                weighted_draw(&mut sel_rng, self.client_sizes.weights(), k)
+            }
         };
         selected.sort_unstable(); // deterministic aggregation order
         selected.dedup();
@@ -144,16 +194,95 @@ impl Sampler {
                 .collect(),
             SelectionStrategy::RoundRobin => {
                 // rotate through the pool; dedup below collapses wrap-around
-                (0..k).map(|i| pool[((t - 1) * k + i) % pool.len()]).collect()
+                (0..k)
+                    .map(|i| pool[((t - 1) * k + i) % pool.len()])
+                    .collect()
             }
             SelectionStrategy::WeightedBySamples => weighted_draw(
                 &mut rng,
-                pool.iter().map(|&c| self.client_sizes[c] as f64).collect(),
+                pool.iter()
+                    .map(|&c| self.client_sizes.get(c) as f64)
+                    .collect(),
                 k,
             )
             .into_iter()
             .map(|i| pool[i])
             .collect(),
+        };
+        picked.sort_unstable();
+        picked.dedup();
+        picked
+    }
+
+    /// Select up to `k` clients that are **not** in `busy` (sorted,
+    /// distinct) — the semi-async redispatch path at population scale.
+    ///
+    /// Unlike [`Sampler::select_among`], the idle pool is never
+    /// materialized: with at most `K` clients ever in flight, uniform
+    /// selection rejection-samples over the whole federation (expected
+    /// O(k) when `N ≫ K`) and round-robin walks from the round's cursor
+    /// skipping busy clients, so the cost per server step is independent of
+    /// federation size. `WeightedBySamples` under uniform sizes is exactly
+    /// uniform selection; under explicit per-client sizes it falls back to
+    /// materializing the idle pool (O(N), documented).
+    ///
+    /// Uses the same `(DISPATCH, t)` RNG tag as [`Sampler::select_among`],
+    /// so it never collides with the synchronous selection stream.
+    ///
+    /// # Panics
+    /// Panics when `busy` is not sorted/deduped or names out-of-range
+    /// clients.
+    pub fn select_idle(&self, t: usize, busy: &[usize], k: usize) -> Vec<usize> {
+        assert!(
+            busy.windows(2).all(|w| w[0] < w[1]) && busy.iter().all(|&c| c < self.n_clients),
+            "busy list must be sorted, distinct, in-range"
+        );
+        let idle = self.n_clients - busy.len();
+        let k = k.min(idle);
+        if k == 0 {
+            return Vec::new();
+        }
+        let is_busy = |c: usize| busy.binary_search(&c).is_ok();
+        let mut rng = Prng::derive(self.seed, &[0xD15_9A7C /* "DISPATCH" */, t as u64]);
+        // weighted-by-samples over uniform sizes IS uniform selection
+        let uniform = self.strategy == SelectionStrategy::Uniform
+            || (self.strategy == SelectionStrategy::WeightedBySamples
+                && matches!(self.client_sizes, ClientSizes::Uniform { .. }));
+        let mut picked: Vec<usize> = if uniform {
+            let mut sel: Vec<usize> = Vec::with_capacity(k);
+            while sel.len() < k {
+                let c = rng.below(self.n_clients);
+                if !is_busy(c) && !sel.contains(&c) {
+                    sel.push(c);
+                }
+            }
+            sel
+        } else if self.strategy == SelectionStrategy::RoundRobin {
+            // rotate from the round's cursor, skipping busy clients
+            let start = (t - 1) * self.clients_per_round;
+            let mut sel = Vec::with_capacity(k);
+            let mut off = 0;
+            while sel.len() < k && off < self.n_clients {
+                let c = (start + off) % self.n_clients;
+                off += 1;
+                if !is_busy(c) && !sel.contains(&c) {
+                    sel.push(c);
+                }
+            }
+            sel
+        } else {
+            // explicit non-uniform sizes: materialize the idle pool
+            let pool: Vec<usize> = (0..self.n_clients).filter(|&c| !is_busy(c)).collect();
+            weighted_draw(
+                &mut rng,
+                pool.iter()
+                    .map(|&c| self.client_sizes.get(c) as f64)
+                    .collect(),
+                k,
+            )
+            .into_iter()
+            .map(|i| pool[i])
+            .collect()
         };
         picked.sort_unstable();
         picked.dedup();
@@ -253,6 +382,84 @@ mod tests {
     fn select_among_empty_pool_is_empty() {
         let s = sampler(SelectionStrategy::Uniform, 0.0);
         assert!(s.select_among(1, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn select_idle_avoids_busy_and_is_deterministic() {
+        for strategy in [
+            SelectionStrategy::Uniform,
+            SelectionStrategy::RoundRobin,
+            SelectionStrategy::WeightedBySamples,
+        ] {
+            let s = sampler(strategy, 0.0);
+            let busy = [0usize, 2, 4];
+            for t in 1..=8 {
+                let a = s.select_idle(t, &busy, 2);
+                let b = s.select_idle(t, &busy, 2);
+                assert_eq!(a, b, "{strategy:?} t={t}");
+                assert!(!a.is_empty() && a.len() <= 2);
+                assert!(a.iter().all(|c| !busy.contains(c)), "{strategy:?} {a:?}");
+                assert!(a.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn select_idle_caps_at_idle_count_and_handles_saturation() {
+        let s = sampler(SelectionStrategy::Uniform, 0.0);
+        // 6 clients, 5 busy: only one candidate remains
+        let busy = [0usize, 1, 2, 3, 4];
+        assert_eq!(s.select_idle(3, &busy, 4), vec![5]);
+        // everyone busy: nothing to select
+        let all = [0usize, 1, 2, 3, 4, 5];
+        assert!(s.select_idle(3, &all, 2).is_empty());
+    }
+
+    #[test]
+    fn select_idle_is_population_scale_cheap_for_uniform() {
+        // a 1M-client federation: selection must not materialize the idle
+        // pool (this test finishing instantly is the point)
+        let s = Sampler::new(
+            7,
+            8,
+            SelectionStrategy::Uniform,
+            0.0,
+            ClientSizes::Uniform {
+                n_clients: 1_000_000,
+                samples: 60,
+            },
+        );
+        let busy = [10usize, 500_000];
+        let picked = s.select_idle(1, &busy, 8);
+        assert_eq!(picked.len(), 8);
+        assert!(picked.iter().all(|c| !busy.contains(c)));
+    }
+
+    #[test]
+    fn uniform_sizes_make_weighted_idle_selection_uniform() {
+        let uni = Sampler::new(
+            42,
+            3,
+            SelectionStrategy::Uniform,
+            0.0,
+            ClientSizes::Uniform {
+                n_clients: 6,
+                samples: 50,
+            },
+        );
+        let wtd = Sampler::new(
+            42,
+            3,
+            SelectionStrategy::WeightedBySamples,
+            0.0,
+            ClientSizes::Uniform {
+                n_clients: 6,
+                samples: 50,
+            },
+        );
+        for t in 1..=6 {
+            assert_eq!(uni.select_idle(t, &[1], 2), wtd.select_idle(t, &[1], 2));
+        }
     }
 
     #[test]

@@ -31,10 +31,10 @@
 //! assert_eq!(semi.name(), "semiasync");
 //! ```
 
-use super::clock::{DeviceProfile, VirtualClock};
+use super::clock::{DeviceProfiles, VirtualClock};
 use super::executor::ClientExecutor;
 use super::sampler::Sampler;
-use crate::algorithms::{Algorithm, ClientState, LocalOutcome};
+use crate::algorithms::{Algorithm, ClientStateStore, FoldPlan, LocalOutcome, ServerFold};
 use serde::{Deserialize, Serialize};
 
 /// Staleness-discounted aggregation weight `1 / (1 + s)^a`.
@@ -55,27 +55,68 @@ pub struct RuntimeCtx<'a> {
     pub exec: ClientExecutor<'a>,
     /// Participation (selection + failure injection).
     pub sampler: &'a Sampler,
-    /// Per-client device capabilities.
-    pub profiles: &'a [DeviceProfile],
+    /// Per-client device capabilities (derived lazily — O(1) per lookup).
+    pub profiles: &'a DeviceProfiles,
     /// The federated method.
     pub algorithm: &'a dyn Algorithm,
     /// Virtual wall-clock (advanced by the scheduler).
     pub clock: &'a mut VirtualClock,
     /// Global parameters at step start.
     pub global: &'a [f32],
-    /// Per-client persistent states.
-    pub states: &'a mut [ClientState],
+    /// Sparse per-client persistent states.
+    pub states: &'a mut ClientStateStore,
     /// Bytes one client exchanges with the server per round
     /// (`2|w|` + method extras), for link-time accounting.
     pub comm_bytes_per_client: f64,
 }
 
+impl RuntimeCtx<'_> {
+    /// Stream a cohort of outcomes (already in fold order, with
+    /// `staleness` / `agg_weight` assigned) into a [`ServerFold`]: one
+    /// scalar pre-pass builds the [`FoldPlan`], then each outcome is
+    /// absorbed — and its parameter vector dropped — one at a time, so the
+    /// server never holds the cohort's parameters beyond what training
+    /// itself produced. Returns the fold plus per-outcome scalars.
+    fn stream_fold(&mut self, outcomes: Vec<LocalOutcome>) -> (ServerFold, Vec<FoldStats>) {
+        let plan = FoldPlan::for_outcomes(outcomes.iter());
+        let mut fold = ServerFold::begin(self.global.len(), plan);
+        self.algorithm.server_begin(&mut fold);
+        let mut folded = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            fold.absorb(self.algorithm, &o, self.global);
+            folded.push(FoldStats {
+                mean_loss: o.mean_loss,
+                train_flops: o.train_flops,
+                staleness: o.staleness,
+            });
+            // `o` (and its full parameter vector) drops here
+        }
+        (fold, folded)
+    }
+}
+
+/// Per-outcome scalars the engine needs for its round accounting — what is
+/// left of a [`LocalOutcome`] once its vectors have been streamed into the
+/// fold.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldStats {
+    /// Mean local training loss.
+    pub mean_loss: f64,
+    /// Local computation (model FLOPs + attach FLOPs).
+    pub train_flops: f64,
+    /// Global-model versions between dispatch and fold.
+    pub staleness: usize,
+}
+
 /// What one server step folded.
 pub struct StepOutput {
-    /// Outcomes to aggregate, in fold order (selection order for
-    /// [`Synchronous`], virtual-arrival order for [`SemiAsync`]), with
-    /// `staleness` / `agg_weight` already assigned.
-    pub folded: Vec<LocalOutcome>,
+    /// The streaming aggregation state, ready for
+    /// [`Algorithm::server_finish`] — parameter vectors have already been
+    /// folded in (in selection order for [`Synchronous`], virtual-arrival
+    /// order for [`SemiAsync`], with `staleness` / `agg_weight` applied).
+    pub fold: ServerFold,
+    /// Per-outcome accounting scalars, in fold order.
+    pub folded: Vec<FoldStats>,
     /// The clients behind `folded`, in the same order.
     pub participants: Vec<usize>,
 }
@@ -140,17 +181,23 @@ impl Scheduler for Synchronous {
 
     fn step(&mut self, t: usize, rt: &mut RuntimeCtx<'_>) -> StepOutput {
         let selected = rt.sampler.participants(t);
-        let folded = rt
+        let outcomes = rt
             .exec
             .train_batch(rt.algorithm, rt.global, rt.states, &selected, t);
         // barrier: the round takes as long as its slowest participant
-        let dt = folded
+        let dt = outcomes
             .iter()
             .zip(&selected)
-            .map(|(o, &c)| rt.profiles[c].duration(o.train_flops, rt.comm_bytes_per_client))
+            .map(|(o, &c)| {
+                rt.profiles
+                    .get(c)
+                    .duration(o.train_flops, rt.comm_bytes_per_client)
+            })
             .fold(0.0f64, f64::max);
         rt.clock.advance_by(dt);
+        let (fold, folded) = rt.stream_fold(outcomes);
         StepOutput {
+            fold,
             folded,
             participants: selected,
         }
@@ -167,8 +214,8 @@ impl Scheduler for Synchronous {
 /// one fold, so `RoundRecord`s keep their meaning across modes.
 ///
 /// **Caveat for server-stateful corrections:** the staleness discount is
-/// exact for the parameter average every method funnels through
-/// (`weighted_param_average`), but methods whose `server_update` also
+/// exact for the streamed parameter average every method funnels through
+/// (the [`ServerFold`] accumulation), but methods whose `server_fold` also
 /// interprets outcomes *relative to the current global* — FedDyn's `h`
 /// drift, SCAFFOLD's control-variate delta, MimeLite's momentum statistics
 /// — see the fold-time global rather than the (older) model a stale client
@@ -213,8 +260,10 @@ impl SemiAsync {
             .exec
             .train_batch(rt.algorithm, rt.global, rt.states, batch, t);
         for (outcome, &client) in outcomes.into_iter().zip(batch) {
-            let duration =
-                rt.profiles[client].duration(outcome.train_flops, rt.comm_bytes_per_client);
+            let duration = rt
+                .profiles
+                .get(client)
+                .duration(outcome.train_flops, rt.comm_bytes_per_client);
             self.state.in_flight.push(Job {
                 client,
                 dispatch_version: self.state.version,
@@ -250,17 +299,15 @@ impl Scheduler for SemiAsync {
     fn step(&mut self, t: usize, rt: &mut RuntimeCtx<'_>) -> StepOutput {
         // 1. top the in-flight pool back up from idle clients; the initial
         //    cohort (t = 1) is just the degenerate case of an empty pool.
+        //    The busy list is at most K entries, and `select_idle` never
+        //    materializes the idle pool, so this step costs O(K) — not
+        //    O(N) — per fold.
         let desired = rt.exec.cfg.clients_per_round;
         let deficit = desired.saturating_sub(self.state.in_flight.len());
         if deficit > 0 {
-            let idle: Vec<usize> = {
-                let mut busy = vec![false; rt.states.len()];
-                for j in &self.state.in_flight {
-                    busy[j.client] = true;
-                }
-                (0..rt.states.len()).filter(|&c| !busy[c]).collect()
-            };
-            let picked = rt.sampler.select_among(t, &idle, deficit);
+            let mut busy: Vec<usize> = self.state.in_flight.iter().map(|j| j.client).collect();
+            busy.sort_unstable();
+            let picked = rt.sampler.select_idle(t, &busy, deficit);
             if !picked.is_empty() {
                 let batch = rt.sampler.apply_failures(t, &picked);
                 self.dispatch(t, rt, &batch);
@@ -276,18 +323,20 @@ impl Scheduler for SemiAsync {
             self.state.buffer.push(job);
         }
 
-        // 3. fold: assign staleness relative to the current version.
-        let mut folded = Vec::with_capacity(self.state.buffer.len());
-        let mut participants = Vec::with_capacity(self.state.buffer.len());
-        for mut job in self.state.buffer.drain(..) {
+        // 3. fold: a scalar pass assigns staleness/weights relative to the
+        //    current version, then each arrival streams into the running
+        //    weighted sum and its parameter vector is released.
+        for job in &mut self.state.buffer {
             let staleness = self.state.version - job.dispatch_version;
             job.outcome.staleness = staleness;
             job.outcome.agg_weight = staleness_weight(staleness, self.staleness_exponent);
-            participants.push(job.client);
-            folded.push(job.outcome);
         }
+        let participants: Vec<usize> = self.state.buffer.iter().map(|j| j.client).collect();
+        let outcomes: Vec<LocalOutcome> = self.state.buffer.drain(..).map(|j| j.outcome).collect();
+        let (fold, folded) = rt.stream_fold(outcomes);
         self.state.version += 1;
         StepOutput {
+            fold,
             folded,
             participants,
         }

@@ -201,7 +201,9 @@ fn topk_reaches_target_in_less_virtual_time_at_4x_spread() {
     let topk = run_with(cfg, CompressionKind::TopK(0.25), true);
 
     let target = 0.90 * dense.final_accuracy(3);
-    let t_dense = dense.time_to_accuracy(target).expect("dense reaches target");
+    let t_dense = dense
+        .time_to_accuracy(target)
+        .expect("dense reaches target");
     let t_topk = topk.time_to_accuracy(target).expect("top-k reaches target");
     assert!(
         t_topk < t_dense,

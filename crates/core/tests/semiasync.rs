@@ -34,7 +34,10 @@ fn cfg(seed: u64, mode: RunMode) -> SimulationConfig {
 }
 
 fn run_records(kind: AlgorithmKind, seed: u64) -> String {
-    let mut sim = Simulation::new(cfg(seed, RunMode::SemiAsync), kind.build(&HyperParams::default()));
+    let mut sim = Simulation::new(
+        cfg(seed, RunMode::SemiAsync),
+        kind.build(&HyperParams::default()),
+    );
     let records = sim.run();
     serde_json::to_string(&records.to_vec()).expect("serialize records")
 }
@@ -89,7 +92,7 @@ fn semiasync_resume_is_bit_identical() {
         let ckpt = Checkpoint::capture(&first, kind, hyper);
         let path = std::env::temp_dir().join(format!("fedtrip_semiasync_{}.json", kind.name()));
         ckpt.save(&path).unwrap();
-        let mut resumed = Checkpoint::load(&path).unwrap().restore();
+        let mut resumed = Checkpoint::load(&path).unwrap().restore().unwrap();
         resumed.run();
 
         let a = serde_json::to_string(&straight.records().to_vec()).unwrap();

@@ -1,4 +1,5 @@
-//! Non-IID data partitioners (paper §V-A "Data Partitioning").
+//! Non-IID data partitioners (paper §V-A "Data Partitioning"), built lazily
+//! so federation size `N` stops being a memory axis.
 //!
 //! Two heterogeneity families from the paper plus an IID control:
 //!
@@ -11,10 +12,37 @@
 //!   a disjoint slice of the classes and its clients sample IID within it.
 //!   `Orthogonal-10` with 10 classes gives one class per client.
 //! * **IID**: every client samples uniformly over all classes.
+//!
+//! # Lazy shards
+//!
+//! [`Partition::build`] no longer materializes every client's sample list.
+//! A shard is drawn on the client's *first* participation (from the same
+//! seed-derived per-client RNG tag the eager builder used) and memoized for
+//! repeat participants, so resident partition memory is O(participants),
+//! not O(N). Two regimes decide how a shard is drawn:
+//!
+//! * [`ShardRegime::Pooled`] — the paper's setting: `N × client_samples`
+//!   fits the dataset's finite per-class pools, and clients draw without
+//!   replacement in client order. Because client `c`'s draw depends on the
+//!   pool state left by clients `0..c`, the lazy builder advances a pool
+//!   cursor on demand (discarding intermediate shards) and keeps a tiny
+//!   per-client pool snapshot (`classes × u32`) so out-of-order repeat
+//!   access stays O(client_samples). Shard bytes are **identical to the
+//!   eager build** — pinned by the order-independence tests.
+//! * [`ShardRegime::Independent`] — the cross-device setting: the requested
+//!   population exceeds the finite pools (which the eager builder used to
+//!   reject), so clients draw *with replacement across the federation*:
+//!   each shard is a pure function of `(seed, client)` — the same per-kind
+//!   RNG tag and class-probability draw as the pooled regime, with sample
+//!   ids drawn uniformly from the per-class pool. This is what lets `flrun
+//!   --clients 100000` exist at all: O(client_samples) per first touch,
+//!   O(1) in `N`.
 
 use crate::synth::{DatasetSpec, SampleRef};
 use fedtrip_tensor::rng::Prng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The heterogeneity regimes evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,25 +66,61 @@ impl HeterogeneityKind {
     }
 }
 
-/// A federated partition: which samples each client owns.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// How client shards are drawn from the dataset (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardRegime {
+    /// Finite per-class pools, drawn without replacement in client order
+    /// (the paper's setting; byte-identical to the historical eager build).
+    Pooled,
+    /// Per-client independent draws with replacement across the federation
+    /// (the cross-device setting for populations beyond the pool capacity).
+    Independent,
+}
+
+/// A federated partition: which samples each client owns, drawn lazily.
 pub struct Partition {
-    /// Per-client sample references.
-    pub clients: Vec<Vec<SampleRef>>,
-    /// Number of classes in the underlying dataset.
-    pub classes: usize,
-    /// The regime that produced this partition.
-    pub kind: HeterogeneityKind,
+    classes: usize,
+    client_samples: usize,
+    pool_per_class: usize,
+    n_clients: usize,
+    kind: HeterogeneityKind,
+    seed: u64,
+    regime: ShardRegime,
+    cache: Mutex<ShardCache>,
+}
+
+/// Interior-mutable shard memo + pooled-regime replay state.
+struct ShardCache {
+    /// Shards of clients that have participated, by client id.
+    shards: HashMap<usize, Arc<[SampleRef]>>,
+    /// Pooled regime: pool state reflecting the draws of clients
+    /// `0..cursor`.
+    pools: ClassPools,
+    /// Pooled regime: clients whose draws are reflected in `pools`.
+    cursor: usize,
+    /// Pooled regime: `snapshots[c]` is the per-class next-id vector at the
+    /// *start* of client `c`'s draw, so out-of-order repeat access can
+    /// replay any single client in O(client_samples).
+    snapshots: Vec<Vec<u32>>,
 }
 
 impl Partition {
-    /// Build a partition of `n_clients`, each holding
+    /// Build a (lazy) partition of `n_clients`, each holding
     /// `spec.client_samples` samples, under the given regime.
     ///
+    /// When the requested population fits the dataset's finite pools
+    /// (`n_clients * client_samples <= total_samples`) shards draw without
+    /// replacement exactly like the historical eager builder
+    /// ([`ShardRegime::Pooled`]); beyond that — which the eager builder
+    /// rejected outright — clients draw independently with replacement
+    /// across the federation ([`ShardRegime::Independent`]).
+    ///
+    /// Construction itself is O(1) in `n_clients`; shards materialize on
+    /// first access via [`Partition::shard`].
+    ///
     /// # Panics
-    /// Panics if the total requested samples exceed the dataset pools, or if
-    /// an orthogonal cluster count does not divide sensibly (more clusters
-    /// than classes).
+    /// Panics when `n_clients == 0`, `client_samples == 0`, or an orthogonal
+    /// cluster count does not divide sensibly (more clusters than classes).
     pub fn build(
         spec: &DatasetSpec,
         kind: HeterogeneityKind,
@@ -64,70 +128,210 @@ impl Partition {
         seed: u64,
     ) -> Partition {
         assert!(n_clients > 0, "need at least one client");
-        let need = n_clients * spec.client_samples;
         assert!(
-            need <= spec.total_samples,
-            "partition needs {need} samples but dataset has {}",
-            spec.total_samples
+            spec.client_samples > 0,
+            "need at least one sample per client"
         );
-        let mut pools = ClassPools::new(spec.classes, spec.pool_per_class());
-        let clients = match kind {
-            HeterogeneityKind::Iid => {
-                let probs = vec![1.0; spec.classes];
-                (0..n_clients)
-                    .map(|c| {
-                        let mut rng = Prng::derive(seed, &[0x1D, c as u64]);
-                        pools.draw(&probs, spec.client_samples, &mut rng)
-                    })
-                    .collect()
-            }
-            HeterogeneityKind::Dirichlet(alpha) => {
-                assert!(alpha > 0.0, "Dirichlet alpha must be positive");
-                (0..n_clients)
-                    .map(|c| {
-                        let mut rng = Prng::derive(seed, &[0xD1, c as u64]);
-                        let probs = dirichlet(alpha, spec.classes, &mut rng);
-                        pools.draw(&probs, spec.client_samples, &mut rng)
-                    })
-                    .collect()
-            }
-            HeterogeneityKind::Orthogonal(k) => {
-                assert!(k > 0 && k <= spec.classes, "need 1..=classes clusters");
-                (0..n_clients)
-                    .map(|c| {
-                        let cluster = c % k;
-                        // classes are split into k contiguous groups; group g
-                        // covers classes [g*classes/k, (g+1)*classes/k)
-                        let lo = cluster * spec.classes / k;
-                        let hi = (cluster + 1) * spec.classes / k;
-                        let probs: Vec<f64> = (0..spec.classes)
-                            .map(|cl| if cl >= lo && cl < hi { 1.0 } else { 0.0 })
-                            .collect();
-                        let mut rng = Prng::derive(seed, &[0x0A, c as u64]);
-                        pools.draw(&probs, spec.client_samples, &mut rng)
-                    })
-                    .collect()
-            }
+        if let HeterogeneityKind::Orthogonal(k) = kind {
+            assert!(k > 0 && k <= spec.classes, "need 1..=classes clusters");
+        }
+        if let HeterogeneityKind::Dirichlet(alpha) = kind {
+            assert!(alpha > 0.0, "Dirichlet alpha must be positive");
+        }
+        let regime = if n_clients.saturating_mul(spec.client_samples) <= spec.total_samples {
+            ShardRegime::Pooled
+        } else {
+            ShardRegime::Independent
         };
         Partition {
-            clients,
             classes: spec.classes,
+            client_samples: spec.client_samples,
+            pool_per_class: spec.pool_per_class(),
+            n_clients,
             kind,
+            seed,
+            regime,
+            cache: Mutex::new(ShardCache {
+                shards: HashMap::new(),
+                pools: ClassPools::new(spec.classes, spec.pool_per_class()),
+                cursor: 0,
+                snapshots: Vec::new(),
+            }),
         }
     }
 
     /// Number of clients.
     pub fn n_clients(&self) -> usize {
-        self.clients.len()
+        self.n_clients
+    }
+
+    /// Samples per client (uniform across the federation).
+    pub fn client_samples(&self) -> usize {
+        self.client_samples
+    }
+
+    /// Number of classes in the underlying dataset.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The heterogeneity regime that parameterizes this partition.
+    pub fn kind(&self) -> HeterogeneityKind {
+        self.kind
+    }
+
+    /// Which shard-drawing regime the population size selected.
+    pub fn regime(&self) -> ShardRegime {
+        self.regime
+    }
+
+    /// Number of shards currently materialized (== distinct clients ever
+    /// passed to [`Partition::shard`]); the population-scale bench asserts
+    /// this stays O(participants).
+    pub fn resident_shards(&self) -> usize {
+        self.cache
+            .lock()
+            .expect("partition cache poisoned")
+            .shards
+            .len()
+    }
+
+    /// This client's samples, drawing (and memoizing) the shard on first
+    /// access. Cheap `Arc` clone on repeat access; safe to call from
+    /// multiple threads, though the engine materializes a round's shards
+    /// before its parallel fan-out.
+    ///
+    /// # Panics
+    /// Panics when `client >= n_clients`.
+    pub fn shard(&self, client: usize) -> Arc<[SampleRef]> {
+        assert!(
+            client < self.n_clients,
+            "client {client} out of range (n_clients {})",
+            self.n_clients
+        );
+        let mut cache = self.cache.lock().expect("partition cache poisoned");
+        if let Some(s) = cache.shards.get(&client) {
+            return Arc::clone(s);
+        }
+        let refs: Arc<[SampleRef]> = self.draw_shard(&mut cache, client).into();
+        cache.shards.insert(client, Arc::clone(&refs));
+        refs
+    }
+
+    /// Draw client `client`'s shard without memoizing it (shared by
+    /// [`Partition::shard`] and the transient analysis walks).
+    fn draw_shard(&self, cache: &mut ShardCache, client: usize) -> Vec<SampleRef> {
+        match self.regime {
+            ShardRegime::Independent => self.draw_independent(client),
+            ShardRegime::Pooled => {
+                if client < cache.cursor {
+                    // replay just this client from its pool snapshot
+                    let mut pools = ClassPools::from_snapshot(
+                        cache.snapshots[client].clone(),
+                        self.pool_per_class as u32,
+                    );
+                    self.draw_pooled(&mut pools, client)
+                } else {
+                    // advance the pool cursor, discarding intermediate
+                    // shards (their pool consumption is all that matters)
+                    let mut out = Vec::new();
+                    while cache.cursor <= client {
+                        let c = cache.cursor;
+                        cache.snapshots.push(cache.pools.next_id.clone());
+                        let refs = {
+                            let pools = &mut cache.pools;
+                            self.draw_pooled(pools, c)
+                        };
+                        if c == client {
+                            out = refs;
+                        }
+                        cache.cursor += 1;
+                    }
+                    out
+                }
+            }
+        }
+    }
+
+    /// The per-client RNG stream and class weights — identical derivations
+    /// to the historical eager builder, per heterogeneity kind.
+    fn client_rng_and_weights(&self, client: usize) -> (Prng, Vec<f64>) {
+        match self.kind {
+            HeterogeneityKind::Iid => {
+                let rng = Prng::derive(self.seed, &[0x1D, client as u64]);
+                (rng, vec![1.0; self.classes])
+            }
+            HeterogeneityKind::Dirichlet(alpha) => {
+                let mut rng = Prng::derive(self.seed, &[0xD1, client as u64]);
+                let probs = dirichlet(alpha, self.classes, &mut rng);
+                (rng, probs)
+            }
+            HeterogeneityKind::Orthogonal(k) => {
+                let cluster = client % k;
+                // classes are split into k contiguous groups; group g
+                // covers classes [g*classes/k, (g+1)*classes/k)
+                let lo = cluster * self.classes / k;
+                let hi = (cluster + 1) * self.classes / k;
+                let probs: Vec<f64> = (0..self.classes)
+                    .map(|cl| if cl >= lo && cl < hi { 1.0 } else { 0.0 })
+                    .collect();
+                let rng = Prng::derive(self.seed, &[0x0A, client as u64]);
+                (rng, probs)
+            }
+        }
+    }
+
+    /// Pooled-regime draw for one client against the given pool state.
+    fn draw_pooled(&self, pools: &mut ClassPools, client: usize) -> Vec<SampleRef> {
+        let (mut rng, probs) = self.client_rng_and_weights(client);
+        pools.draw(&probs, self.client_samples, &mut rng)
+    }
+
+    /// Independent-regime draw: ids sampled uniformly from the per-class
+    /// pool *with replacement across the federation*, so the shard is a
+    /// pure function of `(seed, client)`.
+    fn draw_independent(&self, client: usize) -> Vec<SampleRef> {
+        let (mut rng, probs) = self.client_rng_and_weights(client);
+        let total: f64 = probs.iter().sum();
+        assert!(total > 0.0, "class weights must have positive mass");
+        let mut out = Vec::with_capacity(self.client_samples);
+        for _ in 0..self.client_samples {
+            let mut u = rng.uniform() as f64 * total;
+            let mut chosen = 0;
+            for (c, &w) in probs.iter().enumerate() {
+                if w <= 0.0 {
+                    continue;
+                }
+                u -= w;
+                chosen = c;
+                if u <= 0.0 {
+                    break;
+                }
+            }
+            let id = rng.below(self.pool_per_class) as u32;
+            out.push(SampleRef {
+                class: chosen as u16,
+                id,
+            });
+        }
+        out
     }
 
     /// Per-client histogram over *generating* classes (paper Fig. 4).
+    ///
+    /// Walks every client — O(N × client_samples) — without memoizing the
+    /// shards it draws, so analysis over a small federation stays cheap and
+    /// a large one doesn't pin O(N) shard memory.
     pub fn label_histograms(&self) -> Vec<Vec<usize>> {
-        self.clients
-            .iter()
-            .map(|refs| {
+        let mut cache = self.cache.lock().expect("partition cache poisoned");
+        (0..self.n_clients)
+            .map(|c| {
                 let mut h = vec![0usize; self.classes];
-                for r in refs {
+                let refs = match cache.shards.get(&c) {
+                    Some(s) => s.to_vec(),
+                    None => self.draw_shard(&mut cache, c),
+                };
+                for r in &refs {
                     h[r.class as usize] += 1;
                 }
                 h
@@ -180,6 +384,11 @@ impl ClassPools {
             next_id: vec![0; classes],
             cap: per_class as u32,
         }
+    }
+
+    /// Rehydrate pool state from a per-class next-id snapshot.
+    fn from_snapshot(next_id: Vec<u32>, cap: u32) -> Self {
+        ClassPools { next_id, cap }
     }
 
     fn remaining(&self, class: usize) -> u32 {
@@ -249,11 +458,92 @@ mod tests {
         DatasetKind::MnistLike.spec()
     }
 
+    /// Materialize every shard in client order (the historical eager shape).
+    fn materialize(p: &Partition) -> Vec<Vec<SampleRef>> {
+        (0..p.n_clients()).map(|c| p.shard(c).to_vec()).collect()
+    }
+
+    /// The pre-lazy eager builder, kept verbatim as the ground truth the
+    /// lazy pooled regime must reproduce byte-for-byte.
+    fn eager_reference(
+        spec: &DatasetSpec,
+        kind: HeterogeneityKind,
+        n_clients: usize,
+        seed: u64,
+    ) -> Vec<Vec<SampleRef>> {
+        let mut pools = ClassPools::new(spec.classes, spec.pool_per_class());
+        (0..n_clients)
+            .map(|c| match kind {
+                HeterogeneityKind::Iid => {
+                    let probs = vec![1.0; spec.classes];
+                    let mut rng = Prng::derive(seed, &[0x1D, c as u64]);
+                    pools.draw(&probs, spec.client_samples, &mut rng)
+                }
+                HeterogeneityKind::Dirichlet(alpha) => {
+                    let mut rng = Prng::derive(seed, &[0xD1, c as u64]);
+                    let probs = dirichlet(alpha, spec.classes, &mut rng);
+                    pools.draw(&probs, spec.client_samples, &mut rng)
+                }
+                HeterogeneityKind::Orthogonal(k) => {
+                    let cluster = c % k;
+                    let lo = cluster * spec.classes / k;
+                    let hi = (cluster + 1) * spec.classes / k;
+                    let probs: Vec<f64> = (0..spec.classes)
+                        .map(|cl| if cl >= lo && cl < hi { 1.0 } else { 0.0 })
+                        .collect();
+                    let mut rng = Prng::derive(seed, &[0x0A, c as u64]);
+                    pools.draw(&probs, spec.client_samples, &mut rng)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lazy_pooled_matches_eager_reference_bit_for_bit() {
+        for kind in [
+            HeterogeneityKind::Iid,
+            HeterogeneityKind::Dirichlet(0.5),
+            HeterogeneityKind::Orthogonal(5),
+        ] {
+            let p = Partition::build(&spec(), kind, 10, 42);
+            assert_eq!(p.regime(), ShardRegime::Pooled);
+            assert_eq!(
+                materialize(&p),
+                eager_reference(&spec(), kind, 10, 42),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_access_order_never_changes_shards() {
+        // out-of-order, repeated, and interleaved access must produce the
+        // same bytes as a clean sequential walk
+        let kind = HeterogeneityKind::Dirichlet(0.5);
+        let sequential = materialize(&Partition::build(&spec(), kind, 10, 7));
+        let p = Partition::build(&spec(), kind, 10, 7);
+        for &c in &[9usize, 3, 3, 0, 7, 1, 9, 5, 2, 8, 6, 4, 0] {
+            assert_eq!(p.shard(c).to_vec(), sequential[c], "client {c}");
+        }
+        assert_eq!(p.resident_shards(), 10);
+    }
+
+    #[test]
+    fn shards_memoize_and_stay_sparse() {
+        let p = Partition::build(&spec(), HeterogeneityKind::Iid, 50, 3);
+        assert_eq!(p.resident_shards(), 0);
+        let a = p.shard(30);
+        let b = p.shard(30);
+        assert!(Arc::ptr_eq(&a, &b), "repeat access must hit the memo");
+        p.shard(4);
+        assert_eq!(p.resident_shards(), 2, "only touched clients materialize");
+    }
+
     #[test]
     fn every_client_gets_its_quota() {
         let p = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 10, 1);
         assert_eq!(p.n_clients(), 10);
-        for c in &p.clients {
+        for c in materialize(&p) {
             assert_eq!(c.len(), 600);
         }
     }
@@ -262,7 +552,7 @@ mod tests {
     fn samples_are_disjoint_across_clients() {
         let p = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.1), 10, 2);
         let mut seen = std::collections::HashSet::new();
-        for c in &p.clients {
+        for c in materialize(&p) {
             for r in c {
                 assert!(seen.insert((r.class, r.id)), "duplicate sample {r:?}");
             }
@@ -274,7 +564,7 @@ mod tests {
         let s = spec();
         let p = Partition::build(&s, HeterogeneityKind::Iid, 10, 3);
         let cap = s.pool_per_class() as u32;
-        for c in &p.clients {
+        for c in materialize(&p) {
             for r in c {
                 assert!(r.id < cap);
             }
@@ -285,9 +575,9 @@ mod tests {
     fn deterministic_under_seed() {
         let a = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 6, 9);
         let b = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 6, 9);
-        assert_eq!(a.clients, b.clients);
+        assert_eq!(materialize(&a), materialize(&b));
         let c = Partition::build(&spec(), HeterogeneityKind::Dirichlet(0.5), 6, 10);
-        assert_ne!(a.clients, c.clients);
+        assert_ne!(materialize(&a), materialize(&c));
     }
 
     #[test]
@@ -315,7 +605,10 @@ mod tests {
             dominant += (sorted[0] + sorted[1]) as f64 / n as f64;
         }
         dominant /= hists.len() as f64;
-        assert!(dominant > 0.6, "top-2 class mass {dominant} too low for Dir-0.1");
+        assert!(
+            dominant > 0.6,
+            "top-2 class mass {dominant} too low for Dir-0.1"
+        );
     }
 
     #[test]
@@ -369,11 +662,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "partition needs")]
-    fn rejects_oversubscription() {
+    fn oversubscription_switches_to_independent_regime() {
+        // requesting more samples than the dataset holds used to panic the
+        // eager builder; it now selects per-client independent draws
         let mut s = spec();
         s.client_samples = s.total_samples; // one client wants everything
-        let _ = Partition::build(&s, HeterogeneityKind::Iid, 2, 0);
+        let p = Partition::build(&s, HeterogeneityKind::Iid, 2, 0);
+        assert_eq!(p.regime(), ShardRegime::Independent);
+        let shard = p.shard(1);
+        assert_eq!(shard.len(), s.total_samples);
+        let cap = s.pool_per_class() as u32;
+        assert!(shard.iter().all(|r| r.id < cap));
+    }
+
+    #[test]
+    fn independent_regime_is_flat_in_population_size() {
+        // a 100k-client federation constructs instantly and touches only
+        // the shards actually requested
+        let mut s = spec();
+        s.client_samples = 60; // smoke-style override
+        let p = Partition::build(&s, HeterogeneityKind::Dirichlet(0.5), 100_000, 11);
+        assert_eq!(p.regime(), ShardRegime::Independent);
+        for &c in &[0usize, 99_999, 31_337] {
+            assert_eq!(p.shard(c).len(), 60);
+        }
+        assert_eq!(p.resident_shards(), 3);
+        // pure function of (seed, client): a fresh instance agrees
+        let q = Partition::build(&s, HeterogeneityKind::Dirichlet(0.5), 100_000, 11);
+        assert_eq!(q.shard(31_337).to_vec(), p.shard(31_337).to_vec());
+    }
+
+    #[test]
+    fn independent_regime_respects_orthogonal_class_slices() {
+        let mut s = spec();
+        s.client_samples = 50;
+        let p = Partition::build(&s, HeterogeneityKind::Orthogonal(5), 10_000, 12);
+        assert_eq!(p.regime(), ShardRegime::Independent);
+        for &c in &[17usize, 9_998] {
+            let cluster = c % 5;
+            for r in p.shard(c).iter() {
+                assert_eq!(r.class as usize / 2, cluster, "client {c}");
+            }
+        }
     }
 
     #[test]

@@ -216,8 +216,7 @@ impl SyntheticVision {
         for class in 0..spec.classes {
             let mut per_channel = Vec::with_capacity(spec.channels);
             for ch in 0..spec.channels {
-                let mut rng =
-                    Prng::derive(seed, &[Self::TAG_PROTO, class as u64, ch as u64]);
+                let mut rng = Prng::derive(seed, &[Self::TAG_PROTO, class as u64, ch as u64]);
                 let blobs = (0..spec.blob_count)
                     .map(|_| Blob {
                         cx: rng.uniform() * spec.width as f32,
@@ -239,8 +238,7 @@ impl SyntheticVision {
                     cx: rng.uniform() * spec.width as f32,
                     cy: rng.uniform() * spec.height as f32,
                     sigma: spec.height as f32 * (0.15 + 0.20 * rng.uniform()),
-                    amp: if rng.uniform() < 0.5 { -1.0 } else { 1.0 }
-                        * (0.5 + 0.5 * rng.uniform()),
+                    amp: if rng.uniform() < 0.5 { -1.0 } else { 1.0 } * (0.5 + 0.5 * rng.uniform()),
                 })
                 .collect();
             base.push(blobs);
@@ -341,11 +339,8 @@ impl SyntheticVision {
             self.write_sample(r, &mut data[i * elems..(i + 1) * elems]);
             labels.push(self.label_of(r));
         }
-        let t = Tensor::from_vec(
-            data,
-            &[refs.len(), spec.channels, spec.height, spec.width],
-        )
-        .expect("batch shape consistent by construction");
+        let t = Tensor::from_vec(data, &[refs.len(), spec.channels, spec.height, spec.width])
+            .expect("batch shape consistent by construction");
         (t, labels)
     }
 
@@ -373,13 +368,25 @@ mod tests {
     fn table2_geometry_matches_paper() {
         // Paper Table II rows.
         let m = DatasetKind::MnistLike.spec();
-        assert_eq!((m.total_samples, m.classes, m.channels, m.client_samples), (60_000, 10, 1, 600));
+        assert_eq!(
+            (m.total_samples, m.classes, m.channels, m.client_samples),
+            (60_000, 10, 1, 600)
+        );
         let f = DatasetKind::FmnistLike.spec();
-        assert_eq!((f.total_samples, f.classes, f.channels, f.client_samples), (60_000, 10, 1, 1_000));
+        assert_eq!(
+            (f.total_samples, f.classes, f.channels, f.client_samples),
+            (60_000, 10, 1, 1_000)
+        );
         let e = DatasetKind::EmnistLike.spec();
-        assert_eq!((e.total_samples, e.classes, e.channels, e.client_samples), (112_800, 47, 1, 3_000));
+        assert_eq!(
+            (e.total_samples, e.classes, e.channels, e.client_samples),
+            (112_800, 47, 1, 3_000)
+        );
         let c = DatasetKind::Cifar10Like.spec();
-        assert_eq!((c.total_samples, c.classes, c.channels, c.client_samples), (50_000, 10, 3, 2_000));
+        assert_eq!(
+            (c.total_samples, c.classes, c.channels, c.client_samples),
+            (50_000, 10, 3, 2_000)
+        );
     }
 
     #[test]
@@ -489,8 +496,16 @@ mod tests {
                 d.write_sample(SampleRef { class: c, id }, &mut buf);
                 let best = (0..10)
                     .min_by(|&a, &b| {
-                        let da: f32 = means[a].iter().zip(&buf).map(|(m, v)| (m - v).powi(2)).sum();
-                        let db: f32 = means[b].iter().zip(&buf).map(|(m, v)| (m - v).powi(2)).sum();
+                        let da: f32 = means[a]
+                            .iter()
+                            .zip(&buf)
+                            .map(|(m, v)| (m - v).powi(2))
+                            .sum();
+                        let db: f32 = means[b]
+                            .iter()
+                            .zip(&buf)
+                            .map(|(m, v)| (m - v).powi(2))
+                            .sum();
                         da.partial_cmp(&db).unwrap()
                     })
                     .unwrap();

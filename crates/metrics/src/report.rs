@@ -99,7 +99,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -110,7 +114,11 @@ impl Table {
 
 /// Serialize `value` as pretty JSON under `results/<name>.json`, creating
 /// the directory if needed. Returns the written path.
-pub fn save_json<T: Serialize>(results_dir: &Path, name: &str, value: &T) -> io::Result<std::path::PathBuf> {
+pub fn save_json<T: Serialize>(
+    results_dir: &Path,
+    name: &str,
+    value: &T,
+) -> io::Result<std::path::PathBuf> {
     fs::create_dir_all(results_dir)?;
     let path = results_dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value)

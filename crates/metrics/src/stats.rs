@@ -34,11 +34,7 @@ pub fn ema(xs: &[f64], alpha: f64) -> Vec<f64> {
 /// # Panics
 /// Panics when `times` and `values` have different lengths.
 pub fn time_to_target(times: &[f64], values: &[f64], target: f64) -> Option<f64> {
-    assert_eq!(
-        times.len(),
-        values.len(),
-        "times/values length mismatch"
-    );
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
     times
         .iter()
         .zip(values)
@@ -97,7 +93,13 @@ impl Summary {
         };
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        Summary { n, mean, var, min, max }
+        Summary {
+            n,
+            mean,
+            var,
+            min,
+            max,
+        }
     }
 
     /// Standard deviation.

@@ -55,7 +55,10 @@ impl Tsne {
     /// Panics when `data.len()` is not a multiple of `d`, or fewer than 4
     /// points are supplied.
     pub fn embed(&self, data: &[f32], d: usize) -> Vec<(f64, f64)> {
-        assert!(d > 0 && data.len().is_multiple_of(d), "data length not divisible by d");
+        assert!(
+            d > 0 && data.len().is_multiple_of(d),
+            "data length not divisible by d"
+        );
         let n = data.len() / d;
         assert!(n >= 4, "t-SNE needs at least 4 points");
 

@@ -143,15 +143,43 @@ pub fn mlp(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Sequenti
 /// Panics unless the input is `[1, 28, 28]`.
 pub fn cnn(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Sequential {
     assert_eq!(
-        input_shape, &[1, 28, 28],
+        input_shape,
+        &[1, 28, 28],
         "the paper's CNN expects 28x28 grayscale input"
     );
     // conv1: 1->6, 5x5, pad 2 => 28x28; pool => 14x14
-    let g1 = ConvGeom { in_c: 1, in_h: 28, in_w: 28, out_c: 6, k_h: 5, k_w: 5, stride: 1, pad: 2 };
+    let g1 = ConvGeom {
+        in_c: 1,
+        in_h: 28,
+        in_w: 28,
+        out_c: 6,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 2,
+    };
     // conv2: 6->16, 5x5, valid => 10x10; pool => 5x5
-    let g2 = ConvGeom { in_c: 6, in_h: 14, in_w: 14, out_c: 16, k_h: 5, k_w: 5, stride: 1, pad: 0 };
+    let g2 = ConvGeom {
+        in_c: 6,
+        in_h: 14,
+        in_w: 14,
+        out_c: 16,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 0,
+    };
     // conv3: 16->120, 5x5, valid => 1x1
-    let g3 = ConvGeom { in_c: 16, in_h: 5, in_w: 5, out_c: 120, k_h: 5, k_w: 5, stride: 1, pad: 0 };
+    let g3 = ConvGeom {
+        in_c: 16,
+        in_h: 5,
+        in_w: 5,
+        out_c: 120,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 0,
+    };
     Sequential::new(input_shape)
         .with(Conv2d::new(g1, rng))
         .with(Relu::new())
@@ -175,13 +203,50 @@ pub fn cnn(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Sequenti
 /// Panics unless the input is `[3, 32, 32]`.
 pub fn alexnet_small(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Sequential {
     assert_eq!(
-        input_shape, &[3, 32, 32],
+        input_shape,
+        &[3, 32, 32],
         "AlexNet-small expects 32x32 RGB input"
     );
-    let g1 = ConvGeom { in_c: 3, in_h: 32, in_w: 32, out_c: 64, k_h: 5, k_w: 5, stride: 1, pad: 2 };
-    let g2 = ConvGeom { in_c: 64, in_h: 16, in_w: 16, out_c: 192, k_h: 5, k_w: 5, stride: 1, pad: 2 };
-    let g3 = ConvGeom { in_c: 192, in_h: 8, in_w: 8, out_c: 256, k_h: 3, k_w: 3, stride: 1, pad: 1 };
-    let g4 = ConvGeom { in_c: 256, in_h: 8, in_w: 8, out_c: 192, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+    let g1 = ConvGeom {
+        in_c: 3,
+        in_h: 32,
+        in_w: 32,
+        out_c: 64,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 2,
+    };
+    let g2 = ConvGeom {
+        in_c: 64,
+        in_h: 16,
+        in_w: 16,
+        out_c: 192,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 2,
+    };
+    let g3 = ConvGeom {
+        in_c: 192,
+        in_h: 8,
+        in_w: 8,
+        out_c: 256,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let g4 = ConvGeom {
+        in_c: 256,
+        in_h: 8,
+        in_w: 8,
+        out_c: 192,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
     Sequential::new(input_shape)
         .with(Conv2d::new(g1, rng))
         .with(Relu::new())
@@ -209,9 +274,31 @@ pub fn alexnet_small(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -
 /// # Panics
 /// Panics unless the input is `[3, 32, 32]`.
 pub fn cifar_cnn(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Sequential {
-    assert_eq!(input_shape, &[3, 32, 32], "cifar_cnn expects 32x32 RGB input");
-    let g1 = ConvGeom { in_c: 3, in_h: 32, in_w: 32, out_c: 12, k_h: 5, k_w: 5, stride: 1, pad: 2 };
-    let g2 = ConvGeom { in_c: 12, in_h: 16, in_w: 16, out_c: 24, k_h: 5, k_w: 5, stride: 1, pad: 2 };
+    assert_eq!(
+        input_shape,
+        &[3, 32, 32],
+        "cifar_cnn expects 32x32 RGB input"
+    );
+    let g1 = ConvGeom {
+        in_c: 3,
+        in_h: 32,
+        in_w: 32,
+        out_c: 12,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 2,
+    };
+    let g2 = ConvGeom {
+        in_c: 12,
+        in_h: 16,
+        in_w: 16,
+        out_c: 24,
+        k_h: 5,
+        k_w: 5,
+        stride: 1,
+        pad: 2,
+    };
     Sequential::new(input_shape)
         .with(Conv2d::new(g1, rng))
         .with(Relu::new())
@@ -243,7 +330,16 @@ pub fn tiny_mlp(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Seq
 pub fn tiny_cnn(input_shape: &[usize; 3], classes: usize, rng: &mut Prng) -> Sequential {
     let [c, h, w] = *input_shape;
     assert!(h % 2 == 0 && w % 2 == 0, "tiny_cnn needs even input dims");
-    let g = ConvGeom { in_c: c, in_h: h, in_w: w, out_c: 4, k_h: 3, k_w: 3, stride: 1, pad: 1 };
+    let g = ConvGeom {
+        in_c: c,
+        in_h: h,
+        in_w: w,
+        out_c: 4,
+        k_h: 3,
+        k_w: 3,
+        stride: 1,
+        pad: 1,
+    };
     Sequential::new(input_shape)
         .with(Conv2d::new(g, rng))
         .with(Relu::new())
@@ -268,7 +364,11 @@ mod tests {
         assert_eq!(s.params, 784 * 100 + 100 + 100 * 10 + 10);
         // 4 bytes per f32 parameter; 79510 params ~= 0.318 MB
         let expected_mb = s.params as f64 * 4.0 / 1.0e6;
-        assert!((s.comm_mb() - expected_mb).abs() < 0.01, "comm {}", s.comm_mb());
+        assert!(
+            (s.comm_mb() - expected_mb).abs() < 0.01,
+            "comm {}",
+            s.comm_mb()
+        );
         assert!(s.mflops_forward() > 0.1 && s.mflops_forward() < 0.2);
     }
 
@@ -299,7 +399,11 @@ mod tests {
             "params {}",
             s.params
         );
-        assert!(s.comm_mb() > 7.0 && s.comm_mb() < 14.0, "comm {}", s.comm_mb());
+        assert!(
+            s.comm_mb() > 7.0 && s.comm_mb() < 14.0,
+            "comm {}",
+            s.comm_mb()
+        );
     }
 
     #[test]
@@ -377,8 +481,14 @@ mod tests {
 
     #[test]
     fn default_model_mapping_matches_paper() {
-        assert_eq!(ModelKind::default_for(DatasetKind::MnistLike), ModelKind::Cnn);
-        assert_eq!(ModelKind::default_for(DatasetKind::Cifar10Like), ModelKind::AlexNet);
+        assert_eq!(
+            ModelKind::default_for(DatasetKind::MnistLike),
+            ModelKind::Cnn
+        );
+        assert_eq!(
+            ModelKind::default_for(DatasetKind::Cifar10Like),
+            ModelKind::AlexNet
+        );
     }
 
     #[test]

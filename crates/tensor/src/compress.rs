@@ -228,7 +228,10 @@ mod tests {
         let b = top_k_indices(&x, 50);
         assert_eq!(a, b);
         // selected magnitudes dominate unselected ones
-        let min_sel = a.iter().map(|&i| x[i as usize].abs()).fold(f32::INFINITY, f32::min);
+        let min_sel = a
+            .iter()
+            .map(|&i| x[i as usize].abs())
+            .fold(f32::INFINITY, f32::min);
         let max_unsel = (0..512u32)
             .filter(|i| !a.contains(i))
             .map(|i| x[i as usize].abs())

@@ -211,7 +211,9 @@ mod tests {
     fn im2col_gemm_matches_direct_conv() {
         let g = geom();
         let mut rng = Prng::seed_from_u64(21);
-        let img: Vec<f32> = (0..g.in_c * g.in_h * g.in_w).map(|_| rng.normal()).collect();
+        let img: Vec<f32> = (0..g.in_c * g.in_h * g.in_w)
+            .map(|_| rng.normal())
+            .collect();
         let w: Vec<f32> = (0..g.out_c * g.col_rows()).map(|_| rng.normal()).collect();
         let bias: Vec<f32> = (0..g.out_c).map(|_| rng.normal()).collect();
 
@@ -241,16 +243,28 @@ mod tests {
         // property that makes the backward pass correct.
         let g = geom();
         let mut rng = Prng::seed_from_u64(33);
-        let x: Vec<f32> = (0..g.in_c * g.in_h * g.in_w).map(|_| rng.normal()).collect();
-        let y: Vec<f32> = (0..g.col_rows() * g.col_cols()).map(|_| rng.normal()).collect();
+        let x: Vec<f32> = (0..g.in_c * g.in_h * g.in_w)
+            .map(|_| rng.normal())
+            .collect();
+        let y: Vec<f32> = (0..g.col_rows() * g.col_cols())
+            .map(|_| rng.normal())
+            .collect();
 
         let mut cx = vec![0.0f32; y.len()];
         im2col(&g, &x, &mut cx);
-        let lhs: f64 = cx.iter().zip(&y).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let lhs: f64 = cx
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
 
         let mut aty = vec![0.0f32; x.len()];
         col2im_accum(&g, &y, &mut aty);
-        let rhs: f64 = x.iter().zip(&aty).map(|(&a, &b)| (a as f64) * (b as f64)).sum();
+        let rhs: f64 = x
+            .iter()
+            .zip(&aty)
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
 
         assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
     }

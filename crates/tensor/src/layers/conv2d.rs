@@ -122,7 +122,14 @@ impl Layer for Conv2d {
 
             // d(col) = W^T dY: accumulate into image gradient via col2im
             col_grad.fill(0.0);
-            sgemm_at_b_accum(g.out_c, g.col_rows(), n_cols, &self.weight, dy, &mut col_grad);
+            sgemm_at_b_accum(
+                g.out_c,
+                g.col_rows(),
+                n_cols,
+                &self.weight,
+                dy,
+                &mut col_grad,
+            );
             let gi = &mut grad_in.as_mut_slice()[bi * in_elems..(bi + 1) * in_elems];
             col2im_accum(&g, &col_grad, gi);
         }

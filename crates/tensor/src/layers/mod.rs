@@ -117,7 +117,9 @@ pub(crate) mod gradcheck {
     pub fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
         let y = layer.forward(x);
         // fixed pseudo-random weighting puts every output element in play
-        let w: Vec<f32> = (0..y.len()).map(|i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5).collect();
+        let w: Vec<f32> = (0..y.len())
+            .map(|i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5)
+            .collect();
         let grad_out = Tensor::from_vec(w.clone(), y.shape()).unwrap();
         layer.zero_grads();
         let gin = layer.backward(&grad_out);
@@ -131,9 +133,19 @@ pub(crate) mod gradcheck {
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
             let yp = layer.forward(&xp);
-            let lp: f64 = yp.as_slice().iter().zip(&w).map(|(&a, &b)| (a * b) as f64).sum();
+            let lp: f64 = yp
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum();
             let ym = layer.forward(&xm);
-            let lm: f64 = ym.as_slice().iter().zip(&w).map(|(&a, &b)| (a * b) as f64).sum();
+            let lm: f64 = ym
+                .as_slice()
+                .iter()
+                .zip(&w)
+                .map(|(&a, &b)| (a * b) as f64)
+                .sum();
             let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
             let an = gin.as_slice()[idx];
             assert!(
@@ -146,7 +158,9 @@ pub(crate) mod gradcheck {
     /// Check `d loss / d params` against central finite differences.
     pub fn check_param_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
         let y = layer.forward(x);
-        let w: Vec<f32> = (0..y.len()).map(|i| ((i * 2246822519) % 89) as f32 / 89.0 - 0.5).collect();
+        let w: Vec<f32> = (0..y.len())
+            .map(|i| ((i * 2246822519) % 89) as f32 / 89.0 - 0.5)
+            .collect();
         let grad_out = Tensor::from_vec(w.clone(), y.shape()).unwrap();
         layer.zero_grads();
         let _ = layer.backward(&grad_out);
@@ -160,10 +174,20 @@ pub(crate) mod gradcheck {
                 let orig = layer.params()[pi][idx];
                 layer.params_mut()[pi][idx] = orig + eps;
                 let yp = layer.forward(x);
-                let lp: f64 = yp.as_slice().iter().zip(&w).map(|(&a, &b)| (a * b) as f64).sum();
+                let lp: f64 = yp
+                    .as_slice()
+                    .iter()
+                    .zip(&w)
+                    .map(|(&a, &b)| (a * b) as f64)
+                    .sum();
                 layer.params_mut()[pi][idx] = orig - eps;
                 let ym = layer.forward(x);
-                let lm: f64 = ym.as_slice().iter().zip(&w).map(|(&a, &b)| (a * b) as f64).sum();
+                let lm: f64 = ym
+                    .as_slice()
+                    .iter()
+                    .zip(&w)
+                    .map(|(&a, &b)| (a * b) as f64)
+                    .sum();
                 layer.params_mut()[pi][idx] = orig;
                 let fd = ((lp - lm) / (2.0 * eps as f64)) as f32;
                 let an = g[idx];

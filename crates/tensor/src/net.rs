@@ -212,7 +212,11 @@ impl Sequential {
     /// # Panics
     /// Panics when `flat.len() != num_params()`.
     pub fn set_params_flat(&mut self, flat: &[f32]) {
-        assert_eq!(flat.len(), self.num_params(), "flat parameter size mismatch");
+        assert_eq!(
+            flat.len(),
+            self.num_params(),
+            "flat parameter size mismatch"
+        );
         let mut off = 0;
         for l in &mut self.layers {
             for p in l.params_mut() {

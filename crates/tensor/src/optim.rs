@@ -53,8 +53,7 @@ impl LrSchedule {
             LrSchedule::Cosine { total, min_lr } => {
                 assert!(total > 0, "Cosine total must be positive");
                 let t = (r as f32 / total as f32).min(1.0);
-                min_lr
-                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
             }
         }
     }
@@ -257,7 +256,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = LrSchedule::StepDecay { every: 10, factor: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            factor: 0.5,
+        };
         assert_eq!(s.lr_at(0.4, 1), 0.4);
         assert_eq!(s.lr_at(0.4, 10), 0.4);
         assert_eq!(s.lr_at(0.4, 11), 0.2);
@@ -266,7 +268,10 @@ mod tests {
 
     #[test]
     fn cosine_hits_endpoints_and_is_monotone() {
-        let s = LrSchedule::Cosine { total: 100, min_lr: 0.001 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            min_lr: 0.001,
+        };
         assert!((s.lr_at(0.1, 1) - 0.1).abs() < 1e-7);
         assert!((s.lr_at(0.1, 101) - 0.001).abs() < 1e-7);
         // clamps past the end
@@ -282,6 +287,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "period")]
     fn step_decay_rejects_zero_period() {
-        let _ = LrSchedule::StepDecay { every: 0, factor: 0.5 }.lr_at(0.1, 5);
+        let _ = LrSchedule::StepDecay {
+            every: 0,
+            factor: 0.5,
+        }
+        .lr_at(0.1, 5);
     }
 }

@@ -109,17 +109,32 @@ impl Prng {
     }
 
     /// Sample `k` distinct indices from `0..n` (uniform without replacement).
+    ///
+    /// Runs the partial Fisher–Yates shuffle *sparsely*: instead of
+    /// materializing the identity permutation `0..n` (O(n) — prohibitive for
+    /// the 10⁵-client federations the population-scale runtime targets),
+    /// displaced entries live in a hash map and every untouched position `p`
+    /// implicitly holds `p`. The RNG draw sequence (`below(n - i)` for
+    /// `i in 0..k`) and the returned sample are identical to the dense
+    /// shuffle's, so selection streams never change with population size —
+    /// only the cost drops from O(n) to O(k) time and space.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
         assert!(k <= n, "cannot sample {k} from {n}");
-        let mut idx: Vec<usize> = (0..n).collect();
-        // Partial Fisher–Yates: after k swaps the first k entries are a
-        // uniform sample.
+        let mut displaced: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(2 * k);
+        let at =
+            |m: &std::collections::HashMap<usize, usize>, p: usize| m.get(&p).copied().unwrap_or(p);
+        let mut out = Vec::with_capacity(k);
         for i in 0..k {
             let j = i + self.below(n - i);
-            idx.swap(i, j);
+            let vi = at(&displaced, i);
+            let vj = at(&displaced, j);
+            // swap(i, j); position i is final after this iteration because
+            // every later swap targets positions > i
+            displaced.insert(j, vi);
+            out.push(vj);
         }
-        idx.truncate(k);
-        idx
+        out
     }
 
     /// Raw 64-bit output (escape hatch for hashing-style uses).
@@ -213,6 +228,53 @@ mod tests {
         let mut s = rng.sample_indices(6, 6);
         s.sort_unstable();
         assert_eq!(s, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sparse_sample_matches_dense_partial_fisher_yates() {
+        // the sparse emulation must reproduce the dense shuffle exactly:
+        // same RNG draws, same output order
+        let dense = |rng: &mut Prng, n: usize, k: usize| -> Vec<usize> {
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = i + rng.below(n - i);
+                idx.swap(i, j);
+            }
+            idx.truncate(k);
+            idx
+        };
+        for seed in 0..20u64 {
+            for &(n, k) in &[
+                (1usize, 1usize),
+                (6, 3),
+                (6, 6),
+                (50, 4),
+                (1000, 7),
+                (97, 96),
+            ] {
+                let mut a = Prng::seed_from_u64(seed);
+                let mut b = Prng::seed_from_u64(seed);
+                assert_eq!(
+                    a.sample_indices(n, k),
+                    dense(&mut b, n, k),
+                    "seed={seed} n={n} k={k}"
+                );
+                // both consumed the same number of draws
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn sample_indices_large_population_is_cheap_and_valid() {
+        let mut rng = Prng::seed_from_u64(99);
+        let s = rng.sample_indices(1_000_000, 8);
+        assert_eq!(s.len(), 8);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(s.iter().all(|&i| i < 1_000_000));
     }
 
     #[test]

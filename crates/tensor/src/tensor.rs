@@ -175,7 +175,10 @@ impl Tensor {
         debug_assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0usize;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            debug_assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            debug_assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (dim {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -295,7 +298,12 @@ impl Tensor {
             .collect()
     }
 
-    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
                 op,
@@ -314,7 +322,12 @@ impl Tensor {
         })
     }
 
-    fn zip_assign(&mut self, rhs: &Tensor, op: &'static str, f: impl Fn(&mut f32, f32)) -> Result<()> {
+    fn zip_assign(
+        &mut self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(&mut f32, f32),
+    ) -> Result<()> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
                 op,
@@ -340,9 +353,9 @@ fn checked_len(shape: &[usize]) -> Result<usize> {
                 "zero dimension in shape {shape:?}"
             )));
         }
-        n = n.checked_mul(d).ok_or_else(|| {
-            TensorError::InvalidShape(format!("shape {shape:?} overflows usize"))
-        })?;
+        n = n
+            .checked_mul(d)
+            .ok_or_else(|| TensorError::InvalidShape(format!("shape {shape:?} overflows usize")))?;
     }
     Ok(n)
 }

@@ -38,12 +38,18 @@ pub fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
 /// Dot product with f64 accumulation.
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| (x as f64) * (y as f64)).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64) * (y as f64))
+        .sum()
 }
 
 /// L2 norm with f64 accumulation.
 pub fn norm(a: &[f32]) -> f64 {
-    a.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    a.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// FedProx attaching operation (fused single pass):

@@ -24,7 +24,11 @@ fn flip_rate(ds: &SyntheticVision, n_per_class: u32) -> f64 {
     let mut total = 0usize;
     for c in 0..spec.classes as u16 {
         for i in 0..n_per_class {
-            if ds.label_of(SampleRef { class: c, id: pool + i }) != c as usize {
+            if ds.label_of(SampleRef {
+                class: c,
+                id: pool + i,
+            }) != c as usize
+            {
                 flips += 1;
             }
             total += 1;
@@ -79,7 +83,11 @@ fn main() {
         let ds = SyntheticVision::new(kind, 2023);
         let spec = ds.spec();
         println!("=== {} ({} classes) ===", kind.name(), spec.classes);
-        println!("  flip rate (spec {:.2}): {:.3}", spec.label_flip, flip_rate(&ds, 50));
+        println!(
+            "  flip rate (spec {:.2}): {:.3}",
+            spec.label_flip,
+            flip_rate(&ds, 50)
+        );
 
         let t0 = std::time::Instant::now();
         let plateau = centralized_plateau(kind, cent_samples, cent_epochs);

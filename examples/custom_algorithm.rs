@@ -86,12 +86,21 @@ fn main() {
     let cfg = base.to_config();
 
     let mut contenders: Vec<(&str, Box<dyn Algorithm>)> = vec![
-        ("FedTripDecay", Box::new(FedTripDecay { mu0: 1.0, decay: 0.95 })),
+        (
+            "FedTripDecay",
+            Box::new(FedTripDecay {
+                mu0: 1.0,
+                decay: 0.95,
+            }),
+        ),
         ("FedTrip", AlgorithmKind::FedTrip.build(&base.hyper)),
         ("FedAvg", AlgorithmKind::FedAvg.build(&base.hyper)),
     ];
 
-    println!("{:<14} {:>12} {:>14}", "method", "final acc %", "best acc %");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "method", "final acc %", "best acc %"
+    );
     for (name, alg) in contenders.drain(..) {
         let mut sim = Simulation::new(cfg, alg);
         sim.run();

@@ -109,9 +109,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let report = run_bench(self.sample_size, self.measurement_time, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        let report = run_bench(
+            self.sample_size,
+            self.measurement_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         println!("  {}/{}: {report}", self.name, id);
         self
     }
@@ -285,9 +287,7 @@ mod tests {
     fn quick(c: &mut Criterion) {
         let mut g = c.benchmark_group("shim_smoke");
         g.sample_size(3).measurement_time(Duration::from_millis(10));
-        g.bench_function("sum", |b| {
-            b.iter(|| (0..100u64).sum::<u64>())
-        });
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
         g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
             b.iter(|| n * 2)
         });

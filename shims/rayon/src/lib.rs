@@ -25,7 +25,9 @@ pub mod prelude {
 
 /// Number of worker threads to fan out to.
 fn max_threads() -> usize {
-    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 thread_local! {

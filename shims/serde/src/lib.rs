@@ -356,7 +356,11 @@ impl_tuple!(
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -373,8 +377,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
         // Sort keys so output is deterministic regardless of hash order.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }
@@ -440,10 +446,7 @@ mod tests {
 
     #[test]
     fn object_get_finds_keys() {
-        let v = Value::Object(vec![
-            ("a".into(), Value::U64(1)),
-            ("b".into(), Value::Null),
-        ]);
+        let v = Value::Object(vec![("a".into(), Value::U64(1)), ("b".into(), Value::Null)]);
         assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
         assert!(v.get("b").unwrap().is_null());
         assert!(v.get("c").is_none());

@@ -45,7 +45,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => gen_struct_serialize(name, fields),
         Item::Enum { name, variants } => gen_enum_serialize(name, variants),
     };
-    src.parse().expect("serde_derive shim: generated invalid Serialize impl")
+    src.parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -55,7 +56,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
         Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
     };
-    src.parse().expect("serde_derive shim: generated invalid Deserialize impl")
+    src.parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
 }
 
 // ------------------------------------------------------------------ parsing
@@ -137,9 +139,7 @@ fn parse_named_fields(body: &Group) -> Vec<String> {
         };
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
-            other => panic!(
-                "serde_derive shim: expected `:` after field `{field}`, got {other:?}"
-            ),
+            other => panic!("serde_derive shim: expected `:` after field `{field}`, got {other:?}"),
         }
         skip_type(&mut toks);
         fields.push(field);
@@ -197,9 +197,9 @@ fn parse_variants(body: &Group) -> Vec<Variant> {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
                 variants.push(Variant { name, data });
             }
-            other => panic!(
-                "serde_derive shim: expected `,` after variant `{name}`, got {other:?}"
-            ),
+            other => {
+                panic!("serde_derive shim: expected `,` after variant `{name}`, got {other:?}")
+            }
         }
     }
     variants
@@ -306,9 +306,7 @@ fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
                 let pat = fields.join(", ");
                 let entries = fields
                     .iter()
-                    .map(|f| {
-                        format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
-                    })
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"))
                     .collect::<Vec<_>>()
                     .join(", ");
                 arms.push_str(&format!(

@@ -5,8 +5,8 @@
 //! the [`to_string`] / [`to_string_pretty`] / [`from_str`] / [`json!`]
 //! entry points this workspace uses.
 
-pub use serde::{Error, Value};
 use serde::{Deserialize, Serialize};
+pub use serde::{Error, Value};
 
 /// `Result` alias matching `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -327,10 +327,7 @@ impl<'a> Parser<'a> {
                             );
                         }
                         other => {
-                            return Err(Error::new(format!(
-                                "invalid escape `\\{}`",
-                                other as char
-                            )))
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
                         }
                     }
                 }

@@ -48,7 +48,11 @@ fn every_algorithm_learns_above_chance() {
 
 #[test]
 fn full_run_is_bit_deterministic() {
-    for kind in [AlgorithmKind::FedTrip, AlgorithmKind::Moon, AlgorithmKind::Scaffold] {
+    for kind in [
+        AlgorithmKind::FedTrip,
+        AlgorithmKind::Moon,
+        AlgorithmKind::Scaffold,
+    ] {
         let mut a = Simulation::new(smoke_cfg(7), kind.build(&HyperParams::default()));
         let mut b = Simulation::new(smoke_cfg(7), kind.build(&HyperParams::default()));
         a.run();
@@ -78,11 +82,12 @@ fn fedtrip_tracks_participation_gaps() {
             last_seen[c] = Some(r.round);
         }
     }
-    for (c, st) in sim.client_states().iter().enumerate() {
-        assert_eq!(st.last_round, last_seen[c], "client {c} last_round");
-        if last_seen[c].is_some() {
+    for (c, &seen) in last_seen.iter().enumerate() {
+        let st = sim.client_states().get(c);
+        assert_eq!(st.and_then(|s| s.last_round), seen, "client {c} last_round");
+        if seen.is_some() {
             assert_eq!(
-                st.historical.as_ref().map(|h| h.len()),
+                st.and_then(|s| s.historical.as_ref()).map(|h| h.len()),
                 Some(n),
                 "client {c} historical size"
             );

@@ -90,9 +90,10 @@ proptest! {
         let p = Partition::build(&spec, HeterogeneityKind::Dirichlet(alpha), n_clients, seed);
         prop_assert_eq!(p.n_clients(), n_clients);
         let mut seen = std::collections::HashSet::new();
-        for refs in &p.clients {
+        for c in 0..p.n_clients() {
+            let refs = p.shard(c);
             prop_assert_eq!(refs.len(), spec.client_samples);
-            for r in refs {
+            for r in refs.iter() {
                 prop_assert!((r.id as usize) < spec.pool_per_class());
                 prop_assert!((r.class as usize) < spec.classes);
                 prop_assert!(seen.insert((r.class, r.id)), "duplicate {:?}", r);
