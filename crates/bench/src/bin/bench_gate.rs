@@ -1,6 +1,8 @@
 //! `bench_gate` — the CI bench-regression gate.
 //!
-//! Runs criterion-lite versions of the round and local-step benches plus a
+//! Runs criterion-lite versions of the round and local-step benches, a
+//! hierarchical-tier round (`edge_merge_ns`: a K = 32 cohort sharded over
+//! 8 edge aggregators, then the parallel root merge), plus a
 //! population-scale smoke (`N ∈ {1k, 10k, 100k}`, `K = 4`), writes the
 //! measurements to `BENCH_population.json` (a CI artifact), and **fails**
 //! when
@@ -69,6 +71,18 @@ fn round_metric(kind: AlgorithmKind) -> u64 {
     })
 }
 
+/// Criterion-lite hierarchical-tier round: a K = 32 cohort sharded across
+/// 8 edge aggregators (4 clients per edge fold, then the parallel root
+/// merge) on a 10k-client federation — the `--edges` hot path.
+fn edge_merge_metric() -> u64 {
+    let mut cfg = population_cfg(10_000, 32, 1_000_000, 13);
+    cfg.edges = 8;
+    let mut sim = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
+    time_min(7, || {
+        sim.run_round();
+    })
+}
+
 /// Criterion-lite `bench_local_step`: one client's local round on the CNN
 /// (the Appendix-A attach-cost path).
 fn local_step_metric(kind: AlgorithmKind) -> u64 {
@@ -133,6 +147,9 @@ fn main() {
         println!("  local_step_{}_ns = {ns}", kind.name().to_lowercase());
         metrics.insert(format!("local_step_{}_ns", kind.name().to_lowercase()), ns);
     }
+    let ns = edge_merge_metric();
+    println!("  edge_merge_ns = {ns}");
+    metrics.insert("edge_merge_ns".into(), ns);
 
     println!("bench_gate: population smoke (K = {SWEEP_K}, {POP_ROUNDS} rounds) ...");
     let mut population: Vec<PopulationPoint> = Vec::new();

@@ -7,11 +7,15 @@
 //!     --scale default --checkpoint run.json
 //! ```
 //!
-//! Prints the accuracy trajectory and summary; optionally checkpoints the
-//! finished run so it can be extended later with `--resume run.json
-//! --rounds N`. Upload compression is `--compress q8|q4|topk:0.01`
-//! (optionally with `--error-feedback`); the virtual clock then charges
-//! the encoded uplink bytes, visible in the `up-MB/rnd` column.
+//! Prints the accuracy trajectory and summary on stdout (diagnostics —
+//! partition-regime notes, residency, checkpoint paths — go to stderr so
+//! piped output stays a clean table); optionally checkpoints the finished
+//! run so it can be extended later with `--resume run.json --rounds N`.
+//! Upload compression is `--compress q8|q4|topk:0.01` (optionally with
+//! `--error-feedback`); the virtual clock then charges the encoded uplink
+//! bytes, visible in the `up-MB/rnd` column. `--edges E` shards clients
+//! across `E` edge aggregators with per-edge clocks and a parallel root
+//! merge — the knob that makes million-client federations tractable.
 
 use fedtrip_core::algorithms::AlgorithmKind;
 use fedtrip_core::checkpoint::Checkpoint;
@@ -34,7 +38,7 @@ fn die(msg: &str) -> ! {
          [--selection uniform|roundrobin|weighted] [--failure-prob P] \
          [--lr-schedule const|step:E:F|cosine:T:M] [--mode sync|semiasync] \
          [--device-het S] [--buffer B] [--compress none|q8|q4|topk:F] \
-         [--error-feedback] [--checkpoint FILE] [--resume FILE]"
+         [--error-feedback] [--edges E] [--checkpoint FILE] [--resume FILE]"
     );
     std::process::exit(2);
 }
@@ -73,6 +77,7 @@ struct ConfigOverrides {
     async_buffer: Option<usize>,
     compression: Option<CompressionKind>,
     error_feedback: bool,
+    edges: Option<usize>,
 }
 
 impl ConfigOverrides {
@@ -85,6 +90,7 @@ impl ConfigOverrides {
             || self.async_buffer.is_some()
             || self.compression.is_some()
             || self.error_feedback
+            || self.edges.is_some()
     }
 }
 
@@ -202,6 +208,13 @@ fn main() {
                 i += 1;
                 continue;
             }
+            "--edges" => {
+                let e: usize = val().parse().unwrap_or_else(|_| die("bad --edges"));
+                if e == 0 {
+                    die("--edges must be >= 1");
+                }
+                overrides.edges = Some(e);
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(val())),
             "--resume" => resume = Some(PathBuf::from(val())),
             other => die(&format!("unknown flag {other}")),
@@ -212,10 +225,10 @@ fn main() {
     let mut sim = match &resume {
         Some(path) => {
             if overrides.any() {
-                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback) cannot be combined with --resume; the checkpoint pins them");
+                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback/--edges) cannot be combined with --resume; the checkpoint pins them");
             }
             let ckpt = Checkpoint::load(path).unwrap_or_else(|e| die(&format!("resume: {e}")));
-            println!(
+            eprintln!(
                 "resuming {} on {} from round {}",
                 ckpt.algorithm.name(),
                 ckpt.config.dataset.name(),
@@ -263,8 +276,11 @@ fn main() {
                 cfg.compression = c;
             }
             cfg.error_feedback = overrides.error_feedback;
+            if let Some(e) = overrides.edges {
+                cfg.edges = e;
+            }
             println!(
-                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{}",
+                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{} | edges {}",
                 spec.algorithm.name(),
                 spec.model.name(),
                 spec.dataset.name(),
@@ -277,13 +293,15 @@ fn main() {
                 cfg.device_het,
                 cfg.compression.name(),
                 if cfg.error_feedback { " +ef" } else { "" },
+                cfg.edges,
             );
             Simulation::new(cfg, spec.algorithm.build(&spec.hyper))
         }
     };
 
+    // diagnostics go to stderr so piped stdout stays a clean results table
     if sim.partition().regime() == ShardRegime::Independent {
-        println!(
+        eprintln!(
             "note: {} clients x {} samples exceeds the dataset's finite pools; shards draw \
              per-client with replacement (independent regime) instead of disjointly",
             sim.partition().n_clients(),
@@ -317,16 +335,24 @@ fn main() {
         ratio,
         t0.elapsed()
     );
-    println!(
+    eprintln!(
         "resident client state: {} of {} clients (sparse store + lazy shards keep memory O(participants))",
         sim.client_states().resident(),
         sim.config().n_clients,
     );
+    let edges = sim.config().edges;
+    if edges > 1 {
+        eprintln!(
+            "edge tier: {} aggregators, ~{} resident clients per edge (cohorts shard client mod E)",
+            edges,
+            sim.client_states().resident().div_ceil(edges),
+        );
+    }
 
     if let Some(path) = checkpoint {
         Checkpoint::capture(&sim, spec.algorithm, spec.hyper)
             .save(&path)
             .unwrap_or_else(|e| die(&format!("checkpoint: {e}")));
-        println!("checkpoint written to {}", path.display());
+        eprintln!("checkpoint written to {}", path.display());
     }
 }

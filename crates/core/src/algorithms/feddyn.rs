@@ -136,6 +136,14 @@ impl Algorithm for FedDyn {
         }
     }
 
+    fn server_merge(&self, fold: &mut ServerFold, other: &ServerFold) {
+        // the drift scratch is a plain per-element sum over the cohort, so
+        // partial sums combine by addition
+        for (d, &o) in fold.extra.iter_mut().zip(&other.extra) {
+            *d += o;
+        }
+    }
+
     fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
         let cohort = fold.plan().cohort;
         let (avg, drift) = fold.into_parts();

@@ -141,6 +141,19 @@ impl Algorithm for MimeLite {
         }
     }
 
+    fn server_merge(&self, fold: &mut ServerFold, other: &ServerFold) {
+        // each partial scratch is a mean over its own `aux_count` gradients
+        // (every `server_fold` divided by its local plan's count), so the
+        // union mean is the count-weighted recombination. Runs before the
+        // base merge — both plans still describe their partial cohorts.
+        let (ka, kb) = (fold.plan().aux_count, other.plan().aux_count);
+        let k = (ka + kb).max(1) as f32;
+        let (fa, fb) = (ka as f32 / k, kb as f32 / k);
+        for (mv, &ov) in fold.extra.iter_mut().zip(&other.extra) {
+            *mv = fa * *mv + fb * ov;
+        }
+    }
+
     fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
         let (avg, mean_g) = fold.into_parts();
         *global = avg;

@@ -380,6 +380,51 @@ impl ServerFold {
         algorithm.server_fold(self, outcome, global);
     }
 
+    /// Merge another fold of the **same global model** into this one — the
+    /// associative combine of the hierarchical (edge → root) aggregation
+    /// tree.
+    ///
+    /// A partial fold is a *locally normalized* weighted sum: each of its
+    /// arrivals was scaled by `w_i / W_partial` where `W_partial` is that
+    /// fold's own plan weight. Two partial folds with weights `W_a`, `W_b`
+    /// therefore recombine exactly as
+    ///
+    /// ```text
+    /// acc = (W_a / (W_a + W_b)) · acc_a  +  (W_b / (W_a + W_b)) · acc_b
+    /// ```
+    ///
+    /// after which the merged fold is again a locally normalized sum over
+    /// the union cohort with weight `W_a + W_b` — the fold forms a
+    /// commutative monoid up to float rounding. The method's own scratch
+    /// combines first, via [`Algorithm::server_merge`], while both plans
+    /// still describe their partial cohorts (MimeLite's recombination needs
+    /// the per-side `aux_count`s).
+    ///
+    /// A degenerate tree of one fold performs **no** merge, which is what
+    /// pins `E = 1` hierarchical runs bit-identical to the flat streaming
+    /// fold. Merged multi-edge folds agree with the flat fold up to f64
+    /// summation order (see `DESIGN.md` §Hierarchical aggregation).
+    ///
+    /// # Panics
+    /// Panics on a parameter-length mismatch.
+    pub fn merge<A: Algorithm + ?Sized>(&mut self, algorithm: &A, other: ServerFold) {
+        assert_eq!(
+            self.acc.len(),
+            other.acc.len(),
+            "cannot merge folds over different parameter counts"
+        );
+        algorithm.server_merge(self, &other);
+        let (wa, wb) = (self.plan.total_weight, other.plan.total_weight);
+        let total = wa + wb;
+        let (fa, fb) = (wa / total, wb / total);
+        for (a, &b) in self.acc.iter_mut().zip(&other.acc) {
+            *a = fa * *a + fb * b;
+        }
+        self.plan.cohort += other.plan.cohort;
+        self.plan.aux_count += other.plan.aux_count;
+        self.plan.total_weight = total;
+    }
+
     /// Finish the fold: the weighted parameter average (f64 accumulator
     /// cast back to f32).
     pub fn into_avg(self) -> Vec<f32> {
@@ -441,6 +486,18 @@ pub trait Algorithm: Send + Sync {
     /// their per-outcome terms into `fold.extra` here; the arrival's
     /// parameter vector is dropped right after this call. Default: nothing.
     fn server_fold(&self, _fold: &mut ServerFold, _outcome: &LocalOutcome, _global: &[f32]) {}
+
+    /// Combine hook for hierarchical aggregation: fold `other`'s method
+    /// scratch (`extra`) into `fold`'s, called from [`ServerFold::merge`]
+    /// **before** the base accumulators and plans combine — both plans
+    /// still describe their partial cohorts, which is what a count-weighted
+    /// recombination (MimeLite) needs.
+    ///
+    /// Methods whose `server_begin` seeds `extra` with existing server
+    /// state must take care not to double-count the seed (SCAFFOLD subtracts
+    /// one copy of its control variate per merge). Methods without fold
+    /// scratch keep the default no-op.
+    fn server_merge(&self, _fold: &mut ServerFold, _other: &ServerFold) {}
 
     /// Finish a fold: turn the accumulated average (and scratch) into the
     /// next global model, updating any server-side state. The default is

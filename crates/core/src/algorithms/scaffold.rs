@@ -132,6 +132,18 @@ impl Algorithm for Scaffold {
         }
     }
 
+    fn server_merge(&self, fold: &mut ServerFold, other: &ServerFold) {
+        // every partial fold's `server_begin` seeded its scratch with one
+        // copy of the current `c`, so the union is the element sum minus the
+        // duplicated base: (c + Σ_A d/N) + (c + Σ_B d/N) - c. Mirror the
+        // zeros-on-size-change guard of `server_begin`.
+        let seeded = self.c.len() == fold.n_params();
+        for (i, (cv, &ov)) in fold.extra.iter_mut().zip(&other.extra).enumerate() {
+            let base = if seeded { self.c[i] } else { 0.0 };
+            *cv += ov - base;
+        }
+    }
+
     fn server_finish(&mut self, global: &mut Vec<f32>, fold: ServerFold, _round: usize) {
         let (avg, c) = fold.into_parts();
         *global = avg;

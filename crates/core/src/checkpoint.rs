@@ -18,25 +18,29 @@ use std::path::Path;
 /// Current snapshot format version. Bumped to 2 when the runtime split
 /// added the virtual clock and scheduler (in-flight/buffer) state, to 3
 /// when the compression subsystem added the codec/error-feedback config
-/// fields and per-client error-feedback residuals, and to 4 when client
-/// states went **sparse**: a v4 snapshot stores `(client, state)` entries
-/// only for clients that have participated, so checkpoint size scales with
-/// participants instead of federation size. v3 snapshots (dense state
-/// vectors) are migrated on load — dense entries that are
-/// indistinguishable from "never participated" are dropped, which is
-/// behavior-preserving, so a migrated *synchronous* resume stays
-/// bit-identical (pinned by a test). A semi-async v3 resume is faithful
-/// to *this* engine but not to the pre-v4 binary that wrote it: the
-/// semi-async redispatch selection changed from pool-materializing
-/// `select_among` to the O(K) `select_idle` in the population-scale
-/// rework, so dispatches from the resume point follow the new stream.
-/// Older versions predate fields that cannot be reconstructed, so
-/// [`Checkpoint::load`] rejects them with a clear error (the version is
-/// checked *before* full deserialization, so a foreign snapshot reports
-/// its version instead of a confusing missing-field error).
-pub const CHECKPOINT_VERSION: u32 = 4;
+/// fields and per-client error-feedback residuals, to 4 when client
+/// states went **sparse** (a v4 snapshot stores `(client, state)` entries
+/// only for clients that have participated), and to 5 when the
+/// hierarchical aggregation tier added the `edges` configuration knob and
+/// the per-edge clock vector. v4 snapshots migrate as the single-edge
+/// federation they were (`edges = 1`, one edge clock colocated with the
+/// root), which is behavior-preserving — the flat fold *is* the one-edge
+/// tree — so a migrated resume stays bit-identical (pinned by a test).
+/// v3 snapshots (dense state vectors) chain through the v4 migration:
+/// dense entries indistinguishable from "never participated" are dropped,
+/// which keeps a migrated *synchronous* resume bit-identical. A semi-async
+/// v3 resume is faithful to *this* engine but not to the pre-v4 binary
+/// that wrote it: the semi-async redispatch selection changed from
+/// pool-materializing `select_among` to the O(K) `select_idle` in the
+/// population-scale rework, so dispatches from the resume point follow the
+/// new stream. Older versions predate fields that cannot be
+/// reconstructed, so [`Checkpoint::load`] rejects them with a clear error
+/// (the version is checked *before* full deserialization, so a foreign
+/// snapshot reports its version instead of a confusing missing-field
+/// error).
+pub const CHECKPOINT_VERSION: u32 = 5;
 
-/// One sparse client-state entry of a v4 snapshot.
+/// One sparse client-state entry of a v4+ snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ClientEntry {
     /// Client id within the federation.
@@ -67,12 +71,166 @@ pub struct Checkpoint {
     pub server_state: Vec<Vec<f32>>,
     /// Round records so far.
     pub records: Vec<RoundRecord>,
-    /// Virtual-clock instant at capture (can sit past the last record's
-    /// fold time while semi-async arrivals were being collected).
+    /// Root virtual-clock instant at capture (can sit past the last
+    /// record's fold time while semi-async arrivals were being collected).
     pub clock: f64,
+    /// Per-edge virtual-clock instants at capture, one per configured edge
+    /// aggregator in edge order (`config.edges` entries; a single entry
+    /// equal to `clock` for the flat `edges = 1` federation).
+    pub edge_clocks: Vec<f64>,
     /// Scheduler position: fold counter plus in-flight / buffered jobs
     /// (empty for the stateless synchronous scheduler).
     pub scheduler: SchedulerState,
+}
+
+/// The pre-hierarchical-tier configuration layout (no `edges` field),
+/// kept for v3/v4 snapshot migration. `Serialize` stays derived so tests
+/// can author legacy fixtures.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct SimulationConfigV4 {
+    pub dataset: fedtrip_data::synth::DatasetKind,
+    pub model: fedtrip_models::ModelKind,
+    pub heterogeneity: fedtrip_data::partition::HeterogeneityKind,
+    pub n_clients: usize,
+    pub clients_per_round: usize,
+    pub rounds: usize,
+    pub local_epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub momentum: f32,
+    pub seed: u64,
+    pub test_per_class: usize,
+    pub client_samples_override: Option<usize>,
+    pub eval_every: usize,
+    pub selection: crate::runtime::SelectionStrategy,
+    pub failure_prob: f32,
+    pub lr_schedule: fedtrip_tensor::optim::LrSchedule,
+    pub mode: crate::runtime::RunMode,
+    pub device_het: f32,
+    pub async_buffer: usize,
+    pub staleness_exponent: f32,
+    pub compression: crate::compression::CompressionKind,
+    pub error_feedback: bool,
+}
+
+impl From<SimulationConfigV4> for SimulationConfig {
+    /// A legacy configuration is the flat single-edge federation.
+    fn from(v4: SimulationConfigV4) -> SimulationConfig {
+        SimulationConfig {
+            dataset: v4.dataset,
+            model: v4.model,
+            heterogeneity: v4.heterogeneity,
+            n_clients: v4.n_clients,
+            clients_per_round: v4.clients_per_round,
+            rounds: v4.rounds,
+            local_epochs: v4.local_epochs,
+            batch_size: v4.batch_size,
+            lr: v4.lr,
+            momentum: v4.momentum,
+            seed: v4.seed,
+            test_per_class: v4.test_per_class,
+            client_samples_override: v4.client_samples_override,
+            eval_every: v4.eval_every,
+            selection: v4.selection,
+            failure_prob: v4.failure_prob,
+            lr_schedule: v4.lr_schedule,
+            mode: v4.mode,
+            device_het: v4.device_het,
+            async_buffer: v4.async_buffer,
+            staleness_exponent: v4.staleness_exponent,
+            compression: v4.compression,
+            error_feedback: v4.error_feedback,
+            edges: 1,
+        }
+    }
+}
+
+impl From<SimulationConfig> for SimulationConfigV4 {
+    /// Project a current configuration onto the legacy layout (drops the
+    /// `edges` field) — used by tests that author legacy fixtures.
+    fn from(cfg: SimulationConfig) -> SimulationConfigV4 {
+        SimulationConfigV4 {
+            dataset: cfg.dataset,
+            model: cfg.model,
+            heterogeneity: cfg.heterogeneity,
+            n_clients: cfg.n_clients,
+            clients_per_round: cfg.clients_per_round,
+            rounds: cfg.rounds,
+            local_epochs: cfg.local_epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            seed: cfg.seed,
+            test_per_class: cfg.test_per_class,
+            client_samples_override: cfg.client_samples_override,
+            eval_every: cfg.eval_every,
+            selection: cfg.selection,
+            failure_prob: cfg.failure_prob,
+            lr_schedule: cfg.lr_schedule,
+            mode: cfg.mode,
+            device_het: cfg.device_het,
+            async_buffer: cfg.async_buffer,
+            staleness_exponent: cfg.staleness_exponent,
+            compression: cfg.compression,
+            error_feedback: cfg.error_feedback,
+        }
+    }
+}
+
+/// The v4 snapshot layout (sparse client states, but no edge tier), kept
+/// for migration. `Serialize` stays derived so tests can author v4
+/// fixtures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+pub struct CheckpointV4 {
+    /// Snapshot format version (always 4).
+    pub version: u32,
+    /// Engine configuration (legacy layout, no `edges`).
+    pub config: SimulationConfigV4,
+    /// Which method was running.
+    pub algorithm: AlgorithmKind,
+    /// Its hyper-parameters.
+    pub hyper: HyperParams,
+    /// Rounds completed.
+    pub round: usize,
+    /// Global model parameters.
+    pub global: Vec<f32>,
+    /// Sparse per-client state.
+    pub states: Vec<ClientEntry>,
+    /// Server-side algorithm state.
+    pub server_state: Vec<Vec<f32>>,
+    /// Round records so far.
+    pub records: Vec<RoundRecord>,
+    /// Virtual-clock instant at capture.
+    pub clock: f64,
+    /// Scheduler position.
+    pub scheduler: SchedulerState,
+}
+
+impl CheckpointV4 {
+    /// Migrate a v4 snapshot to the v5 layout: the federation it describes
+    /// had no edge tier, which in v5 terms is `edges = 1` with the single
+    /// edge clock colocated with the root. The one-edge tree performs the
+    /// exact fold the flat engine did, so a migrated resume is
+    /// bit-identical (pinned by a test).
+    pub fn migrate(self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.config.into(),
+            algorithm: self.algorithm,
+            hyper: self.hyper,
+            round: self.round,
+            global: self.global,
+            states: self.states,
+            server_state: self.server_state,
+            records: self.records,
+            clock: self.clock,
+            edge_clocks: vec![self.clock],
+            scheduler: self.scheduler,
+        }
+    }
 }
 
 /// The v3 snapshot layout (dense client states), kept for migration.
@@ -82,8 +240,8 @@ pub struct Checkpoint {
 pub struct CheckpointV3 {
     /// Snapshot format version (always 3).
     pub version: u32,
-    /// Engine configuration.
-    pub config: SimulationConfig,
+    /// Engine configuration (legacy layout, no `edges`).
+    pub config: SimulationConfigV4,
     /// Which method was running.
     pub algorithm: AlgorithmKind,
     /// Its hyper-parameters.
@@ -109,10 +267,11 @@ impl CheckpointV3 {
     /// (indistinguishable from never-participated) are dropped; everything
     /// else carries over unchanged, so a resumed synchronous run is
     /// bit-identical (see [`CHECKPOINT_VERSION`] for the semi-async
-    /// redispatch caveat).
-    pub fn migrate(self) -> Checkpoint {
-        Checkpoint {
-            version: CHECKPOINT_VERSION,
+    /// redispatch caveat). Chain `.migrate().migrate()` to reach the
+    /// current layout.
+    pub fn migrate(self) -> CheckpointV4 {
+        CheckpointV4 {
+            version: 4,
             config: self.config,
             algorithm: self.algorithm,
             hyper: self.hyper,
@@ -131,6 +290,12 @@ impl CheckpointV3 {
             scheduler: self.scheduler,
         }
     }
+}
+
+/// Wrap an I/O or parse failure as the uniform [`RestoreError::Snapshot`]
+/// so every way a `--resume` can fail reports through one `Display` path.
+fn snapshot_err(context: &str, detail: impl std::fmt::Display) -> RestoreError {
+    RestoreError::Snapshot(format!("{context}: {detail}"))
 }
 
 impl Checkpoint {
@@ -157,6 +322,7 @@ impl Checkpoint {
             server_state: sim.algorithm_server_state(),
             records: sim.records().to_vec(),
             clock: sim.virtual_time(),
+            edge_clocks: sim.edge_clock_times(),
             scheduler: sim.scheduler_state(),
         }
     }
@@ -165,10 +331,10 @@ impl Checkpoint {
     /// stopped.
     ///
     /// A snapshot that does not fit its own recorded configuration (wrong
-    /// parameter count, client entries beyond the federation, inconsistent
-    /// record count) returns a clean [`RestoreError`] instead of panicking
-    /// — this is also the path v3→v4 migrated snapshots are validated
-    /// through.
+    /// parameter count, client entries beyond the federation, edge-clock
+    /// count diverging from `config.edges`, inconsistent record count)
+    /// returns a clean [`RestoreError`] instead of panicking — this is
+    /// also the path migrated legacy snapshots are validated through.
     pub fn restore(&self) -> Result<Simulation, RestoreError> {
         // a corrupted/hand-edited snapshot must not reach Simulation::new's
         // asserts: re-check its invariants as a clean error first
@@ -208,7 +374,7 @@ impl Checkpoint {
             self.states.iter().map(|e| (e.client, e.state.clone())),
             self.records.clone(),
         )?;
-        sim.restore_runtime(self.clock, self.scheduler.clone());
+        sim.restore_runtime(self.clock, &self.edge_clocks, self.scheduler.clone())?;
         Ok(sim)
     }
 
@@ -222,41 +388,47 @@ impl Checkpoint {
         fs::write(path, json)
     }
 
-    /// Read a snapshot back, migrating the previous (dense-state) v3
-    /// format transparently.
+    /// Read a snapshot back, migrating the previous formats transparently:
+    /// v4 (no edge tier) resumes as the single-edge federation it was, v3
+    /// (dense states) additionally drops vacant entries.
     ///
-    /// Rejects snapshots whose `version` is neither [`CHECKPOINT_VERSION`]
-    /// nor 3 (including pre-versioning files, which lack the field
-    /// entirely).
-    pub fn load(path: &Path) -> io::Result<Checkpoint> {
-        let body = fs::read_to_string(path)?;
+    /// Every failure — unreadable file, malformed JSON, foreign `version`
+    /// (including pre-versioning files, which lack the field entirely),
+    /// fields that no longer deserialize — surfaces as
+    /// [`RestoreError::Snapshot`], so callers report `--resume` problems
+    /// through one uniform [`std::fmt::Display`] path.
+    pub fn load(path: &Path) -> Result<Checkpoint, RestoreError> {
+        let body = fs::read_to_string(path)
+            .map_err(|e| snapshot_err(&format!("cannot read {}", path.display()), e))?;
         // check the version off the raw JSON first: a snapshot from another
         // format version should report that version, not whatever
         // missing-field error full deserialization happens to hit first
-        let value: serde_json::Value = serde_json::from_str(&body)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let value: serde_json::Value =
+            serde_json::from_str(&body).map_err(|e| snapshot_err("malformed snapshot JSON", e))?;
         let version = value.get("version").and_then(|v| v.as_u64());
         match version {
             Some(v) if v == CHECKPOINT_VERSION as u64 => {
                 let ckpt: Checkpoint = serde::Deserialize::from_value(&value)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    .map_err(|e| snapshot_err("snapshot does not fit the v5 layout", e))?;
                 Ok(ckpt)
+            }
+            Some(4) => {
+                let legacy: CheckpointV4 = serde::Deserialize::from_value(&value)
+                    .map_err(|e| snapshot_err("snapshot does not fit the v4 layout", e))?;
+                Ok(legacy.migrate())
             }
             Some(3) => {
                 let legacy: CheckpointV3 = serde::Deserialize::from_value(&value)
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-                Ok(legacy.migrate())
+                    .map_err(|e| snapshot_err("snapshot does not fit the v3 layout", e))?;
+                Ok(legacy.migrate().migrate())
             }
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "checkpoint format version {} unsupported (expected {} or 3)",
-                    other
-                        .map(|v| v.to_string())
-                        .unwrap_or_else(|| "<missing>".into()),
-                    CHECKPOINT_VERSION
-                ),
-            )),
+            other => Err(RestoreError::Snapshot(format!(
+                "checkpoint format version {} unsupported (expected {}, 4, or 3)",
+                other
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "<missing>".into()),
+                CHECKPOINT_VERSION
+            ))),
         }
     }
 }
@@ -345,6 +517,20 @@ mod tests {
     }
 
     #[test]
+    fn resume_is_bit_identical_with_edge_tier() {
+        // the per-edge clocks and the tree fold must survive the snapshot:
+        // split an E=3 run and compare to the straight E=3 run, both modes
+        let mut c = cfg(45);
+        c.edges = 3;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedTrip);
+        let mut c = cfg(46);
+        c.edges = 2;
+        c.mode = crate::runtime::RunMode::SemiAsync;
+        c.device_het = 4.0;
+        resume_equals_straight_cfg(c, AlgorithmKind::Scaffold);
+    }
+
+    #[test]
     fn checkpoint_carries_error_feedback_residuals() {
         use crate::compression::CompressionKind;
         let hyper = HyperParams::default();
@@ -382,9 +568,25 @@ mod tests {
         ckpt.save(&path).unwrap();
         let err = Checkpoint::load(&path).unwrap_err();
         assert!(
+            matches!(err, RestoreError::Snapshot(_)),
+            "unexpected error: {err}"
+        );
+        assert!(
             err.to_string().contains("version"),
             "unexpected error: {err}"
         );
+    }
+
+    #[test]
+    fn load_reports_missing_file_and_bad_json_uniformly() {
+        let err = Checkpoint::load(Path::new("/nonexistent/fedtrip_ckpt.json")).unwrap_err();
+        assert!(matches!(err, RestoreError::Snapshot(_)), "{err}");
+        assert!(err.to_string().contains("cannot load checkpoint"), "{err}");
+
+        let path = std::env::temp_dir().join("fedtrip_ckpt_bad_json_test.json");
+        fs::write(&path, "{ not json").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, RestoreError::Snapshot(_)), "{err}");
     }
 
     #[test]
@@ -395,8 +597,23 @@ mod tests {
         let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
         assert_eq!(ckpt.version, CHECKPOINT_VERSION);
         assert!(ckpt.clock > 0.0, "virtual clock should have advanced");
+        // flat federation: one edge clock, colocated with the root
+        assert_eq!(ckpt.edge_clocks.len(), 1);
         // sync scheduler is stateless
         assert!(ckpt.scheduler.in_flight.is_empty());
+    }
+
+    #[test]
+    fn capture_carries_one_clock_per_edge() {
+        let hyper = HyperParams::default();
+        let mut c = cfg(47);
+        c.edges = 3;
+        let mut sim = Simulation::new(c, AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        assert_eq!(ckpt.edge_clocks.len(), 3);
+        // every edge clock sits at or behind the root
+        assert!(ckpt.edge_clocks.iter().all(|&t| t <= ckpt.clock));
     }
 
     #[test]
@@ -412,6 +629,7 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded.round, 2);
         assert_eq!(loaded.global, ckpt.global);
+        assert_eq!(loaded.edge_clocks, ckpt.edge_clocks);
         let mut resumed = loaded.restore().expect("self-consistent checkpoint");
         resumed.run_round();
         assert_eq!(resumed.rounds_done(), 3);
@@ -431,6 +649,49 @@ mod tests {
     }
 
     #[test]
+    fn v4_snapshot_migrates_as_single_edge_and_resumes_bit_identically() {
+        let hyper = HyperParams::default();
+        let config = cfg(48);
+        // straight 8-round run as ground truth
+        let mut straight = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        straight.run();
+
+        // 4 rounds, then author a v4 (edge-less) snapshot by hand
+        let mut first = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        for _ in 0..4 {
+            first.run_round();
+        }
+        let v5 = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let legacy = CheckpointV4 {
+            version: 4,
+            config: v5.config.into(),
+            algorithm: v5.algorithm,
+            hyper: v5.hyper,
+            round: v5.round,
+            global: v5.global.clone(),
+            states: v5.states.clone(),
+            server_state: v5.server_state.clone(),
+            records: v5.records.clone(),
+            clock: v5.clock,
+            scheduler: v5.scheduler.clone(),
+        };
+        let path = std::env::temp_dir().join("fedtrip_ckpt_v4_migration_test.json");
+        fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
+
+        let migrated = Checkpoint::load(&path).unwrap();
+        assert_eq!(migrated.version, CHECKPOINT_VERSION);
+        assert_eq!(migrated.config.edges, 1);
+        assert_eq!(migrated.edge_clocks, vec![v5.clock]);
+        let mut resumed = migrated.restore().expect("migrated checkpoint restores");
+        resumed.run();
+        assert_eq!(
+            straight.global_params(),
+            resumed.global_params(),
+            "v4-migrated resume diverged from the straight run"
+        );
+    }
+
+    #[test]
     fn v3_dense_snapshot_migrates_and_resumes_bit_identically() {
         let hyper = HyperParams::default();
         let config = cfg(41);
@@ -443,22 +704,22 @@ mod tests {
         for _ in 0..4 {
             first.run_round();
         }
-        let v4 = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let v5 = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
         let dense: Vec<ClientState> = (0..config.n_clients)
             .map(|c| first.client_states().get(c).cloned().unwrap_or_default())
             .collect();
         let legacy = CheckpointV3 {
             version: 3,
-            config: v4.config,
-            algorithm: v4.algorithm,
-            hyper: v4.hyper,
-            round: v4.round,
-            global: v4.global.clone(),
+            config: v5.config.into(),
+            algorithm: v5.algorithm,
+            hyper: v5.hyper,
+            round: v5.round,
+            global: v5.global.clone(),
             states: dense,
-            server_state: v4.server_state.clone(),
-            records: v4.records.clone(),
-            clock: v4.clock,
-            scheduler: v4.scheduler.clone(),
+            server_state: v5.server_state.clone(),
+            records: v5.records.clone(),
+            clock: v5.clock,
+            scheduler: v5.scheduler.clone(),
         };
         let path = std::env::temp_dir().join("fedtrip_ckpt_v3_migration_test.json");
         fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
@@ -500,6 +761,16 @@ mod tests {
             matches!(err, crate::engine::RestoreError::RecordsMismatch { .. }),
             "unexpected error: {err}"
         );
+
+        // edge-clock count diverging from config.edges is a clean error too
+        let mut ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        ckpt.edge_clocks.push(0.0);
+        let err = ckpt.restore().map(|_| ()).unwrap_err();
+        assert!(
+            matches!(err, crate::engine::RestoreError::EdgeClocksMismatch { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("edge clocks"), "{err}");
     }
 
     #[test]
@@ -511,13 +782,14 @@ mod tests {
         // each corruption used to hit a Simulation::new assert (panic);
         // all must now surface as a clean RestoreError
         type Corrupt = fn(&mut Checkpoint);
-        let corruptions: [(&str, Corrupt); 4] = [
+        let corruptions: [(&str, Corrupt); 5] = [
             ("K > N", |c| {
                 c.config.clients_per_round = c.config.n_clients + 1
             }),
             ("zero rounds", |c| c.config.rounds = 0),
             ("zero eval_every", |c| c.config.eval_every = 0),
             ("sub-unit device_het", |c| c.config.device_het = 0.5),
+            ("zero edges", |c| c.config.edges = 0),
         ];
         for (name, corrupt) in corruptions {
             let mut ckpt = good.clone();

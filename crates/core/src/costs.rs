@@ -88,6 +88,19 @@ impl AttachCost {
     }
 }
 
+/// Virtual seconds one edge aggregator needs to ship a summary of `bytes`
+/// to the root over the reference backhaul link.
+///
+/// Edge→root links are modeled homogeneous at the reference bandwidth
+/// (aggregation sites are provisioned infrastructure, unlike the spread of
+/// client devices), so the uplink charge is a pure function of the encoded
+/// summary size. `0.0` bytes — the colocated `E = 1` root — costs exactly
+/// `0.0` seconds, which keeps single-edge clock arithmetic bit-identical to
+/// the flat engine.
+pub fn edge_uplink_secs(bytes: f64) -> f64 {
+    bytes / crate::runtime::clock::BASE_BANDWIDTH_BPS
+}
+
 /// Appendix-A Table VIII rows, as functions of the cost model.
 pub mod formulas {
     use super::{AttachCost, CostModel};

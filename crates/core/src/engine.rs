@@ -25,8 +25,8 @@ use crate::compression::{CompressionKind, Compressor};
 use crate::costs::CostModel;
 use crate::runtime::ClientExecutor;
 use crate::runtime::{
-    ClientSizes, DeviceProfiles, RuntimeCtx, Sampler, Scheduler, SchedulerState, SemiAsync,
-    StepOutput, Synchronous, VirtualClock,
+    ClientSizes, DeviceProfiles, EdgeTier, RuntimeCtx, Sampler, Scheduler, SchedulerState,
+    SemiAsync, StepOutput, Synchronous, VirtualClock,
 };
 pub use crate::runtime::{RunMode, SelectionStrategy};
 use fedtrip_data::partition::{HeterogeneityKind, Partition};
@@ -100,6 +100,12 @@ pub struct SimulationConfig {
     /// dropped mass is retransmitted instead of lost. No-op for
     /// [`CompressionKind::None`].
     pub error_feedback: bool,
+    /// Edge aggregators `E` in the hierarchical aggregation tier: clients
+    /// shard by `client mod E`, each edge folds its own cohort on its own
+    /// clock and ships one summary uplink to the root per fold. `1` (the
+    /// default) colocates the single edge with the root — the flat fold,
+    /// bit-identical to the pre-tier engine.
+    pub edges: usize,
 }
 
 impl Default for SimulationConfig {
@@ -128,6 +134,7 @@ impl Default for SimulationConfig {
             staleness_exponent: 0.5,
             compression: CompressionKind::None,
             error_feedback: false,
+            edges: 1,
         }
     }
 }
@@ -168,6 +175,9 @@ impl SimulationConfig {
         if self.staleness_exponent.is_nan() || self.staleness_exponent < 0.0 {
             return Err("staleness exponent must be non-negative".into());
         }
+        if self.edges == 0 {
+            return Err("need at least one edge aggregator".into());
+        }
         Ok(())
     }
 }
@@ -182,8 +192,9 @@ pub struct RoundRecord {
     pub accuracy: Option<f64>,
     /// Mean local training loss over the folded clients.
     pub mean_loss: f64,
-    /// Cumulative client-server communication in bytes (up + down, all
-    /// clients, including method-specific extras).
+    /// Cumulative communication in bytes (up + down, all clients, including
+    /// method-specific extras, plus edge→root summary uplinks when the
+    /// hierarchical tier runs more than one edge).
     pub cum_comm_bytes: f64,
     /// Cumulative local computation in FLOPs (model fwd/bwd + attach ops).
     pub cum_flops: f64,
@@ -196,7 +207,8 @@ pub struct RoundRecord {
     /// Mean staleness of the folded updates (always `0` in sync mode).
     pub mean_staleness: f64,
     /// Uplink bytes this round (all folded clients, encoded update plus
-    /// encoded method extras — what the virtual clock actually charged).
+    /// encoded method extras, plus the participating edges' summary uplinks
+    /// when `E > 1` — what the virtual clock actually charged).
     pub comm_bytes_up: f64,
     /// Uplink compression ratio: dense f32 upload bytes over encoded
     /// upload bytes (`1.0` when compression is off).
@@ -229,6 +241,17 @@ pub enum RestoreError {
         /// Rounds the snapshot claims completed.
         round: usize,
     },
+    /// The snapshot's per-edge clock list does not match the configured
+    /// edge-tier width.
+    EdgeClocksMismatch {
+        /// Edge clocks in the snapshot.
+        snapshot: usize,
+        /// Edge aggregators the configuration asks for.
+        expected: usize,
+    },
+    /// The checkpoint file itself could not be read, parsed, or recognized
+    /// (I/O failure, malformed JSON, unsupported format version).
+    Snapshot(String),
 }
 
 impl std::fmt::Display for RestoreError {
@@ -248,6 +271,11 @@ impl std::fmt::Display for RestoreError {
                 f,
                 "snapshot carries {records} round records but claims {round} completed rounds"
             ),
+            RestoreError::EdgeClocksMismatch { snapshot, expected } => write!(
+                f,
+                "snapshot carries {snapshot} edge clocks but the configuration has {expected} edge aggregators"
+            ),
+            RestoreError::Snapshot(msg) => write!(f, "cannot load checkpoint: {msg}"),
         }
     }
 }
@@ -272,6 +300,7 @@ pub struct Simulation {
     sampler: Sampler,
     profiles: DeviceProfiles,
     clock: VirtualClock,
+    edges: EdgeTier,
     scheduler: Box<dyn Scheduler>,
     compressor: Box<dyn Compressor>,
 }
@@ -298,6 +327,7 @@ impl Simulation {
         assert!(cfg.rounds > 0, "need at least one round");
         assert!(cfg.eval_every > 0, "eval_every must be positive");
         assert!(cfg.device_het >= 1.0, "device_het must be >= 1");
+        assert!(cfg.edges > 0, "need at least one edge aggregator");
 
         let dataset = SyntheticVision::new(cfg.dataset, cfg.seed);
         let mut spec = *dataset.spec();
@@ -352,6 +382,7 @@ impl Simulation {
             sampler,
             profiles,
             clock: VirtualClock::new(),
+            edges: EdgeTier::new(cfg.edges),
             scheduler,
             compressor: cfg.compression.build(),
         }
@@ -474,12 +505,34 @@ impl Simulation {
         Ok(())
     }
 
+    /// Per-edge clock instants of the hierarchical tier, in edge order
+    /// (checkpoint capture).
+    pub fn edge_clock_times(&self) -> Vec<f64> {
+        self.edges.clock_times()
+    }
+
     /// Restore the runtime layer from a checkpoint: the exact virtual-clock
     /// instant (which can sit past the last record's fold time while
-    /// arrivals were being collected) and the scheduler's in-flight state.
-    pub fn restore_runtime(&mut self, clock_now: f64, scheduler: SchedulerState) {
+    /// arrivals were being collected), the per-edge clocks of the
+    /// hierarchical tier, and the scheduler's in-flight state. A snapshot
+    /// whose edge-clock list does not match the configured tier width
+    /// returns a clean [`RestoreError`] and leaves the simulation untouched.
+    pub fn restore_runtime(
+        &mut self,
+        clock_now: f64,
+        edge_clocks: &[f64],
+        scheduler: SchedulerState,
+    ) -> Result<(), RestoreError> {
+        if edge_clocks.len() != self.edges.n_edges() {
+            return Err(RestoreError::EdgeClocksMismatch {
+                snapshot: edge_clocks.len(),
+                expected: self.edges.n_edges(),
+            });
+        }
         self.clock.restore(clock_now);
+        self.edges.restore_times(edge_clocks);
         self.scheduler.restore_state(scheduler);
+        Ok(())
     }
 
     /// The Appendix-A cost model for this configuration (uses the nominal
@@ -518,11 +571,18 @@ impl Simulation {
                 0
             }) as f64;
         let comm_per_client = down_bytes + up_bytes;
+        // edge→root summary uplink: the merged fold has the wire shape of
+        // one client upload (parameter summary plus the method's aux
+        // statistic) and rides the same codec. Free when the single edge is
+        // colocated with the root (E = 1).
+        let edge_uplink_bytes = if self.cfg.edges > 1 { up_bytes } else { 0.0 };
+        let edge_uplink_secs = crate::costs::edge_uplink_secs(edge_uplink_bytes);
 
         let StepOutput {
             fold,
             folded,
             participants,
+            edges_active,
         } = {
             let mut rt = RuntimeCtx {
                 exec: ClientExecutor {
@@ -539,6 +599,8 @@ impl Simulation {
                 global: &self.global,
                 states: &mut self.states,
                 comm_bytes_per_client: comm_per_client,
+                edges: &mut self.edges,
+                edge_uplink_secs,
             };
             self.scheduler.step(t, &mut rt)
         };
@@ -547,6 +609,10 @@ impl Simulation {
             self.cum_comm_bytes += comm_per_client;
             self.cum_flops += o.train_flops;
         }
+        // each participating edge shipped one summary to the root (adds
+        // exactly 0.0 when E = 1, keeping the flat accounting bit-identical)
+        let edge_uplink_total = edges_active as f64 * edge_uplink_bytes;
+        self.cum_comm_bytes += edge_uplink_total;
         let mean_loss =
             folded.iter().map(|o| o.mean_loss).sum::<f64>() / folded.len().max(1) as f64;
         let mean_staleness =
@@ -571,7 +637,7 @@ impl Simulation {
             selected: participants,
             virtual_time: self.clock.now(),
             mean_staleness,
-            comm_bytes_up: up_bytes * folded.len() as f64,
+            comm_bytes_up: up_bytes * folded.len() as f64 + edge_uplink_total,
             compression_ratio: dense_up_bytes / up_bytes,
         });
         self.round = t;

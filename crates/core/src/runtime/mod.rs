@@ -21,7 +21,12 @@
 //!   loop bit-for-bit (guarded by a golden regression test), [`SemiAsync`]
 //!   is a FedBuff-style buffered aggregator that folds the first `B`
 //!   arrivals by virtual completion time with staleness-discounted weights
-//!   `1 / (1 + s)^a`.
+//!   `1 / (1 + s)^a`;
+//! * [`edge`] — [`EdgeTier`] owns *where* results fold: clients shard
+//!   across `E` edge aggregators (`client mod E`), each with its own
+//!   streaming fold and [`VirtualClock`], and the root merges the edge
+//!   summaries with the associative `ServerFold::merge` across rayon
+//!   threads. `E = 1` (the default) is the flat fold, bit for bit.
 //!
 //! The upload codecs of [`crate::compression`] plug in at the
 //! executor→scheduler boundary: outcomes are encoded/decoded before any
@@ -37,11 +42,13 @@
 //! `bench_gate`).
 
 pub mod clock;
+pub mod edge;
 pub mod executor;
 pub mod sampler;
 pub mod scheduler;
 
 pub use clock::{DeviceProfile, DeviceProfiles, VirtualClock};
+pub use edge::EdgeTier;
 pub use executor::ClientExecutor;
 pub use sampler::{ClientSizes, Sampler, SelectionStrategy};
 pub use scheduler::{

@@ -32,10 +32,12 @@
 //! ```
 
 use super::clock::{DeviceProfiles, VirtualClock};
+use super::edge::EdgeTier;
 use super::executor::ClientExecutor;
 use super::sampler::Sampler;
-use crate::algorithms::{Algorithm, ClientStateStore, FoldPlan, LocalOutcome, ServerFold};
+use crate::algorithms::{Algorithm, ClientStateStore, LocalOutcome, ServerFold};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Staleness-discounted aggregation weight `1 / (1 + s)^a`.
 ///
@@ -68,30 +70,30 @@ pub struct RuntimeCtx<'a> {
     /// Bytes one client exchanges with the server per round
     /// (`2|w|` + method extras), for link-time accounting.
     pub comm_bytes_per_client: f64,
+    /// The hierarchical aggregation tier (a single-edge tier is the flat
+    /// fold, bit for bit).
+    pub edges: &'a mut EdgeTier,
+    /// Virtual seconds one edge aggregator needs to ship its merged summary
+    /// to the root — `0.0` when the root is colocated (`E = 1`).
+    pub edge_uplink_secs: f64,
 }
 
 impl RuntimeCtx<'_> {
-    /// Stream a cohort of outcomes (already in fold order, with
-    /// `staleness` / `agg_weight` assigned) into a [`ServerFold`]: one
-    /// scalar pre-pass builds the [`FoldPlan`], then each outcome is
-    /// absorbed — and its parameter vector dropped — one at a time, so the
-    /// server never holds the cohort's parameters beyond what training
-    /// itself produced. Returns the fold plus per-outcome scalars.
-    fn stream_fold(&mut self, outcomes: Vec<LocalOutcome>) -> (ServerFold, Vec<FoldStats>) {
-        let plan = FoldPlan::for_outcomes(outcomes.iter());
-        let mut fold = ServerFold::begin(self.global.len(), plan);
-        self.algorithm.server_begin(&mut fold);
-        let mut folded = Vec::with_capacity(outcomes.len());
-        for o in outcomes {
-            fold.absorb(self.algorithm, &o, self.global);
-            folded.push(FoldStats {
-                mean_loss: o.mean_loss,
-                train_flops: o.train_flops,
-                staleness: o.staleness,
-            });
-            // `o` (and its full parameter vector) drops here
-        }
-        (fold, folded)
+    /// Stream a cohort of outcomes (already in arrival order, with
+    /// `staleness` / `agg_weight` assigned) through the edge tier: outcomes
+    /// shard across the edge aggregators by `client mod E`, each shard
+    /// folds into its own streaming [`ServerFold`] — one parameter vector
+    /// dropped per absorb, so no node ever holds its cohort's parameters
+    /// beyond what training itself produced — and the root merges the edge
+    /// summaries. Returns the merged fold, per-outcome scalars in
+    /// shard-major order, and the ascending active-edge list.
+    fn stream_fold(
+        &mut self,
+        clients: &[usize],
+        outcomes: Vec<LocalOutcome>,
+    ) -> (ServerFold, Vec<FoldStats>, Vec<usize>) {
+        self.edges
+            .fold_streamed(self.algorithm, self.global, clients, outcomes)
     }
 }
 
@@ -117,8 +119,12 @@ pub struct StepOutput {
     pub fold: ServerFold,
     /// Per-outcome accounting scalars, in fold order.
     pub folded: Vec<FoldStats>,
-    /// The clients behind `folded`, in the same order.
+    /// The clients that folded this step, in arrival order (which is fold
+    /// order when `E = 1`; multi-edge folds reorder shard-major).
     pub participants: Vec<usize>,
+    /// Edge aggregators that participated in this fold (each one shipped a
+    /// summary uplink to the root). Always `1` for a single-edge tier.
+    pub edges_active: usize,
 }
 
 /// Serializable scheduler position for checkpointing.
@@ -184,22 +190,27 @@ impl Scheduler for Synchronous {
         let outcomes = rt
             .exec
             .train_batch(rt.algorithm, rt.global, rt.states, &selected, t);
-        // barrier: the round takes as long as its slowest participant
-        let dt = outcomes
-            .iter()
-            .zip(&selected)
-            .map(|(o, &c)| {
-                rt.profiles
-                    .get(c)
-                    .duration(o.train_flops, rt.comm_bytes_per_client)
-            })
-            .fold(0.0f64, f64::max);
-        rt.clock.advance_by(dt);
-        let (fold, folded) = rt.stream_fold(outcomes);
+        // per-edge barrier: each edge aggregator waits for its slowest
+        // cohort member (a single-edge tier reduces to the global barrier —
+        // the same running f64::max over the same sequence)
+        let mut edge_dt: BTreeMap<usize, f64> = BTreeMap::new();
+        for (o, &c) in outcomes.iter().zip(&selected) {
+            let d = rt
+                .profiles
+                .get(c)
+                .duration(o.train_flops, rt.comm_bytes_per_client);
+            let slot = edge_dt.entry(rt.edges.edge_of(c)).or_insert(0.0f64);
+            *slot = slot.max(d);
+        }
+        let durations: Vec<(usize, f64)> = edge_dt.into_iter().collect();
+        rt.edges
+            .advance_round(rt.clock, &durations, rt.edge_uplink_secs);
+        let (fold, folded, active) = rt.stream_fold(&selected, outcomes);
         StepOutput {
             fold,
             folded,
             participants: selected,
+            edges_active: active.len(),
         }
     }
 }
@@ -333,12 +344,22 @@ impl Scheduler for SemiAsync {
         }
         let participants: Vec<usize> = self.state.buffer.iter().map(|j| j.client).collect();
         let outcomes: Vec<LocalOutcome> = self.state.buffer.drain(..).map(|j| j.outcome).collect();
-        let (fold, folded) = rt.stream_fold(outcomes);
+        let (fold, folded, active) = rt.stream_fold(&participants, outcomes);
+        // 4. with a real edge tier (E > 1) the participating edges relay
+        //    the buffered arrivals: each catches up to the root (arrivals
+        //    already advanced it) and ships its summary uplink. A
+        //    single-edge tier skips this entirely — the root is colocated.
+        if rt.edges.n_edges() > 1 {
+            let durations: Vec<(usize, f64)> = active.iter().map(|&e| (e, 0.0)).collect();
+            rt.edges
+                .advance_round(rt.clock, &durations, rt.edge_uplink_secs);
+        }
         self.state.version += 1;
         StepOutput {
             fold,
             folded,
             participants,
+            edges_active: active.len(),
         }
     }
 

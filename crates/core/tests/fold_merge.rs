@@ -1,0 +1,209 @@
+//! Property-based tests for the hierarchical aggregation tree's combine:
+//! `ServerFold::merge` recombines two partial folds into the fold of the
+//! union cohort, across all eight algorithms, random cohort splits, and
+//! random (staleness-style) aggregation weights.
+//!
+//! Exactness contract (documented in `DESIGN.md` §Hierarchical
+//! aggregation): cohort and aux counts combine *exactly*; accumulator
+//! values agree with the flat fold up to f64/f32 summation-order rounding
+//! — a literal bit-identity for arbitrary splits is impossible because
+//! `(a + b) + (c + d)` is not `((a + b) + c) + d` in floating point, and
+//! the flat left-to-right order is pinned by the `E = 1` golden fixtures.
+//! The degenerate tree of one bucket performs no merge at all, which is
+//! what keeps `E = 1` bit-identical (pinned here and by the edge-tier
+//! unit tests).
+
+use fedtrip_core::algorithms::{
+    Algorithm, AlgorithmKind, FoldPlan, HyperParams, LocalOutcome, ServerFold,
+};
+use proptest::prelude::*;
+
+const DIM: usize = 5;
+const COHORT: usize = 6;
+/// Larger than any test cohort so SCAFFOLD's `max(n_clients, cohort)`
+/// divisor is the same constant for flat and partial folds — exactly the
+/// engine regime, where the federation is never smaller than a cohort.
+const N_CLIENTS: usize = 64;
+
+/// A synthetic client outcome: params/aux derive deterministically from
+/// the generated scalars so cases shrink well.
+fn outcome(base: f32, idx: usize, n_samples: usize, agg_weight: f32) -> LocalOutcome {
+    let params: Vec<f32> = (0..DIM)
+        .map(|j| base + 0.37 * idx as f32 - 0.11 * j as f32)
+        .collect();
+    let aux: Vec<f32> = (0..DIM)
+        .map(|j| 0.5 * base - 0.07 * idx as f32 + 0.03 * j as f32)
+        .collect();
+    LocalOutcome {
+        params,
+        n_samples,
+        mean_loss: 0.0,
+        iterations: 1,
+        train_flops: 0.0,
+        aux: Some(aux),
+        staleness: 0,
+        agg_weight: agg_weight as f64,
+    }
+}
+
+fn make_outcomes(base: f32, samples: &[usize], weights: &[f32]) -> Vec<LocalOutcome> {
+    samples
+        .iter()
+        .zip(weights)
+        .enumerate()
+        .map(|(i, (&n, &w))| outcome(base, i, n, w))
+        .collect()
+}
+
+/// Build a method with server state seeded from `c` — for SCAFFOLD this
+/// makes the control variate nonzero, exercising the duplicated-base
+/// subtraction in its `server_merge`; for the other stateful methods the
+/// seeded vector never enters the fold, so it is harmless.
+fn make_algorithm(kind: AlgorithmKind, c: &[f32]) -> Box<dyn Algorithm> {
+    let mut alg = kind.build(&HyperParams::default());
+    alg.on_init(N_CLIENTS, DIM);
+    alg.restore_server_state(vec![c.to_vec()]);
+    alg
+}
+
+/// The flat streaming fold: plan pre-pass, `server_begin`, absorb in order.
+fn fold_over(alg: &dyn Algorithm, global: &[f32], outcomes: &[LocalOutcome]) -> ServerFold {
+    let plan = FoldPlan::for_outcomes(outcomes.iter());
+    let mut fold = ServerFold::begin(DIM, plan);
+    alg.server_begin(&mut fold);
+    for o in outcomes {
+        fold.absorb(alg, o, global);
+    }
+    fold
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f32, what: &str) -> Result<(), TestCaseError> {
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert!((x - y).abs() <= tol, "{what}[{i}]: {x} vs {y} (tol {tol})");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `merge(fold(A), fold(B))` equals `fold(A ∪ B)`: exact cohort and
+    /// aux counts, weight and accumulator values up to summation-order
+    /// rounding — for every algorithm, split point, and weight pattern.
+    #[test]
+    fn merged_split_matches_flat_fold(
+        alg_idx in 0usize..8,
+        base in -2.0f32..2.0,
+        samples in prop::collection::vec(1usize..200, COHORT),
+        weights in prop::collection::vec(0.05f32..1.0, COHORT),
+        global in prop::collection::vec(-1.0f32..1.0, DIM),
+        c in prop::collection::vec(-1.0f32..1.0, DIM),
+        split in 1usize..COHORT,
+    ) {
+        let kind = AlgorithmKind::ALL[alg_idx];
+        let alg = make_algorithm(kind, &c);
+        let outcomes = make_outcomes(base, &samples, &weights);
+
+        let flat = fold_over(alg.as_ref(), &global, &outcomes);
+        let mut left = fold_over(alg.as_ref(), &global, &outcomes[..split]);
+        let right = fold_over(alg.as_ref(), &global, &outcomes[split..]);
+        left.merge(alg.as_ref(), right);
+
+        // integer bookkeeping combines exactly
+        prop_assert_eq!(left.plan().cohort, flat.plan().cohort, "{} cohort", kind.name());
+        prop_assert_eq!(left.plan().aux_count, flat.plan().aux_count, "{} aux", kind.name());
+        // the normalizer differs only by f64 summation order
+        let (wm, wf) = (left.plan().total_weight, flat.plan().total_weight);
+        prop_assert!(((wm - wf) / wf).abs() < 1e-12, "{}: weight {wm} vs {wf}", kind.name());
+
+        let (avg_m, extra_m) = left.into_parts();
+        let (avg_f, extra_f) = flat.into_parts();
+        assert_close(&avg_m, &avg_f, 1e-4, kind.name())?;
+        assert_close(&extra_m, &extra_f, 1e-3, kind.name())?;
+    }
+
+    /// The combine is commutative up to rounding: which side of the tree a
+    /// partial fold arrives on does not change the result.
+    #[test]
+    fn merge_is_commutative_within_rounding(
+        alg_idx in 0usize..8,
+        base in -2.0f32..2.0,
+        samples in prop::collection::vec(1usize..200, COHORT),
+        weights in prop::collection::vec(0.05f32..1.0, COHORT),
+        global in prop::collection::vec(-1.0f32..1.0, DIM),
+        c in prop::collection::vec(-1.0f32..1.0, DIM),
+        split in 1usize..COHORT,
+    ) {
+        let kind = AlgorithmKind::ALL[alg_idx];
+        let alg = make_algorithm(kind, &c);
+        let outcomes = make_outcomes(base, &samples, &weights);
+
+        let mut ab = fold_over(alg.as_ref(), &global, &outcomes[..split]);
+        ab.merge(alg.as_ref(), fold_over(alg.as_ref(), &global, &outcomes[split..]));
+        let mut ba = fold_over(alg.as_ref(), &global, &outcomes[split..]);
+        ba.merge(alg.as_ref(), fold_over(alg.as_ref(), &global, &outcomes[..split]));
+
+        prop_assert_eq!(ab.plan().cohort, ba.plan().cohort);
+        prop_assert_eq!(ab.plan().aux_count, ba.plan().aux_count);
+        let (avg_ab, extra_ab) = ab.into_parts();
+        let (avg_ba, extra_ba) = ba.into_parts();
+        assert_close(&avg_ab, &avg_ba, 1e-4, kind.name())?;
+        assert_close(&extra_ab, &extra_ba, 1e-3, kind.name())?;
+    }
+
+    /// The combine is associative up to rounding: a three-way split folds
+    /// to the same result whichever pair merges first — the property that
+    /// lets the root reduce edge summaries in any tree shape.
+    #[test]
+    fn merge_is_associative_within_rounding(
+        alg_idx in 0usize..8,
+        base in -2.0f32..2.0,
+        samples in prop::collection::vec(1usize..200, COHORT),
+        weights in prop::collection::vec(0.05f32..1.0, COHORT),
+        global in prop::collection::vec(-1.0f32..1.0, DIM),
+        c in prop::collection::vec(-1.0f32..1.0, DIM),
+        s1 in 1usize..3,
+        s2 in 3usize..5,
+    ) {
+        let kind = AlgorithmKind::ALL[alg_idx];
+        let alg = make_algorithm(kind, &c);
+        let outcomes = make_outcomes(base, &samples, &weights);
+        let fold_chunk = |lo: usize, hi: usize| fold_over(alg.as_ref(), &global, &outcomes[lo..hi]);
+
+        // ((A ∪ B) ∪ C)
+        let mut lhs = fold_chunk(0, s1);
+        lhs.merge(alg.as_ref(), fold_chunk(s1, s2));
+        lhs.merge(alg.as_ref(), fold_chunk(s2, COHORT));
+        // (A ∪ (B ∪ C))
+        let mut bc = fold_chunk(s1, s2);
+        bc.merge(alg.as_ref(), fold_chunk(s2, COHORT));
+        let mut rhs = fold_chunk(0, s1);
+        rhs.merge(alg.as_ref(), bc);
+
+        prop_assert_eq!(lhs.plan().cohort, rhs.plan().cohort);
+        prop_assert_eq!(lhs.plan().aux_count, rhs.plan().aux_count);
+        let (avg_l, extra_l) = lhs.into_parts();
+        let (avg_r, extra_r) = rhs.into_parts();
+        assert_close(&avg_l, &avg_r, 1e-4, kind.name())?;
+        assert_close(&extra_l, &extra_r, 1e-3, kind.name())?;
+    }
+}
+
+/// The `E = 1` pin is structural, not tolerance-based: a tree of one
+/// bucket never calls `merge`, so two independent flat folds of the same
+/// cohort are bit-identical for every algorithm.
+#[test]
+fn tree_of_one_is_bit_identical_for_every_algorithm() {
+    let samples = [37usize, 80, 5, 120, 64, 11];
+    let weights = [1.0f32, 0.5, 0.8, 1.0, 0.33, 0.9];
+    let outcomes = make_outcomes(0.7, &samples, &weights);
+    let global = vec![0.25f32; DIM];
+    let c = vec![0.1f32; DIM];
+    for kind in AlgorithmKind::ALL {
+        let alg = make_algorithm(kind, &c);
+        let (a_avg, a_extra) = fold_over(alg.as_ref(), &global, &outcomes).into_parts();
+        let (b_avg, b_extra) = fold_over(alg.as_ref(), &global, &outcomes).into_parts();
+        assert_eq!(a_avg, b_avg, "{}", kind.name());
+        assert_eq!(a_extra, b_extra, "{}", kind.name());
+    }
+}
