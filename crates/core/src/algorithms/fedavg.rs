@@ -5,7 +5,7 @@ use super::{
     LocalOutcome,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{GradAdjust, Sequential};
 
 /// Plain local SGD + weighted averaging. No attaching operations.
 #[derive(Debug, Clone, Default)]
@@ -31,7 +31,8 @@ impl Algorithm for FedAvg {
         ctx: &LocalContext<'_>,
     ) -> LocalOutcome {
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), None);
+        let (iterations, samples, mean_loss) =
+            run_local_sgd(net, data, ctx, opt.as_mut(), &GradAdjust::None);
         state.last_round = Some(ctx.round);
         LocalOutcome {
             params: net.params_flat(),

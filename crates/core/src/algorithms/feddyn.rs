@@ -21,7 +21,7 @@ use super::{
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{GradAdjust, Sequential};
 
 /// The FedDyn method.
 #[derive(Debug, Clone)]
@@ -85,17 +85,17 @@ impl Algorithm for FedDyn {
         {
             state.correction = Some(vec![0.0; n]);
         }
-        let lambda = state.correction.clone().expect("initialized above");
         let alpha = self.alpha;
         let global = ctx.global;
-        let mut hook = |g: &mut Vec<f32>, w: &[f32]| {
-            for (((gv, &lv), &wv), &gl) in g.iter_mut().zip(&lambda).zip(w).zip(global) {
-                *gv += -lv + alpha * (wv - gl);
-            }
+        // lambda is borrowed, not cloned: the fused sweep only reads it,
+        // and the post-round update below happens after the borrow ends
+        let adjust = GradAdjust::DynReg {
+            alpha,
+            lambda: state.correction.as_deref().expect("initialized above"),
+            global,
         };
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let (iterations, samples, mean_loss) =
-            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
 
         let params = net.params_flat();
         // lambda_k <- lambda_k - alpha (w_k - w_global)

@@ -5,7 +5,7 @@ use super::{
     LocalOutcome,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
-use fedtrip_tensor::{vecops, Sequential};
+use fedtrip_tensor::{GradAdjust, Sequential};
 
 /// FedProx adds the proximal term `(mu/2) ||w - w_global||^2` to the local
 /// loss, i.e. each SGD step uses `g + mu (w - w_global)`. This restrains
@@ -45,13 +45,11 @@ impl Algorithm for FedProx {
         ctx: &LocalContext<'_>,
     ) -> LocalOutcome {
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let mu = self.mu;
-        let global = ctx.global;
-        let mut hook = |g: &mut Vec<f32>, w: &[f32]| {
-            vecops::prox_adjust(g, mu, w, global);
+        let adjust = GradAdjust::Prox {
+            mu: self.mu,
+            anchor: ctx.global,
         };
-        let (iterations, samples, mean_loss) =
-            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
         state.last_round = Some(ctx.round);
         let attach = formulas::fedprox(&CostModel {
             n_params: net.num_params(),

@@ -27,7 +27,7 @@ use super::{
     LocalOutcome,
 };
 use crate::costs::{formulas, AttachCost, CostModel};
-use fedtrip_tensor::{vecops, Sequential};
+use fedtrip_tensor::{GradAdjust, Sequential};
 use serde::{Deserialize, Serialize};
 
 /// How the history coefficient `xi` is derived.
@@ -132,13 +132,18 @@ impl Algorithm for FedTrip {
         // First participation: no historical model yet — Algorithm 1 line 4
         // loads w̃^{t-1}; we fall back to the proximal-only update (the
         // history term vanishes), which equals FedProx for that round.
-        let historical = state.historical.clone();
-        let mut hook = |g: &mut Vec<f32>, w: &[f32]| match &historical {
-            Some(hist) => vecops::triplet_adjust(g, mu, xi, w, global, hist),
-            None => vecops::prox_adjust(g, mu, w, global),
+        // The historical model is borrowed, not cloned: the fused sweep
+        // only reads it.
+        let adjust = match state.historical.as_deref() {
+            Some(hist) => GradAdjust::Triplet {
+                mu,
+                xi,
+                global,
+                hist,
+            },
+            None => GradAdjust::Prox { mu, anchor: global },
         };
-        let (iterations, samples, mean_loss) =
-            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
 
         let params = net.params_flat();
         // the updated local model becomes next participation's history
@@ -175,7 +180,7 @@ mod tests {
     use super::super::fedprox::FedProx;
     use super::super::testutil::*;
     use super::*;
-    use fedtrip_tensor::vecops::sq_dist;
+    use fedtrip_tensor::vecops::{self, sq_dist};
 
     fn trip(mu: f32) -> FedTrip {
         FedTrip::new(FedTripConfig {

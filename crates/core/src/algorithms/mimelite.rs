@@ -20,7 +20,7 @@ use super::{
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{GradAdjust, Sequential};
 
 /// The MimeLite method.
 #[derive(Debug, Clone)]
@@ -98,19 +98,18 @@ impl Algorithm for MimeLite {
         let full_grad = full_batch_gradient(net, data, ctx.batch_size.max(1));
 
         let beta = self.beta;
-        let s: Vec<f32> = if self.s.len() == n {
-            self.s.clone()
+        // zeros fallback only materializes on a size change; otherwise the
+        // fused sweep reads the server statistic in place
+        let zeros;
+        let s: &[f32] = if self.s.len() == n {
+            &self.s
         } else {
-            vec![0.0; n]
+            zeros = vec![0.0f32; n];
+            &zeros
         };
-        let mut hook = |g: &mut Vec<f32>, _w: &[f32]| {
-            for (gv, &sv) in g.iter_mut().zip(&s) {
-                *gv = (1.0 - beta) * *gv + beta * sv;
-            }
-        };
+        let adjust = GradAdjust::Interp { beta, stat: s };
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let (iterations, samples, mean_loss) =
-            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
         state.last_round = Some(ctx.round);
 
         LocalOutcome {

@@ -39,10 +39,10 @@ pub use slowmo::SlowMo;
 use crate::costs::{AttachCost, CostModel};
 use fedtrip_data::loader::BatchIter;
 use fedtrip_data::synth::{SampleRef, SyntheticVision};
-use fedtrip_tensor::optim::{Optimizer, SgdMomentum};
+use fedtrip_tensor::optim::{GradAdjust, Optimizer, SgdMomentum};
 use fedtrip_tensor::rng::Prng;
 use fedtrip_tensor::vecops;
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{Sequential, Tensor};
 use serde::{Deserialize, Serialize};
 
 /// A client's local shard: the dataset generator plus its sample references.
@@ -556,15 +556,16 @@ pub fn weighted_param_average(outcomes: &[LocalOutcome]) -> Vec<f32> {
     vecops::weighted_average(&inputs, &weights)
 }
 
-/// Flat-space gradient-adjustment hook `(grads, current_params)` applied
-/// between backward and optimizer step — where the attaching operations of
-/// FedProx / FedTrip / FedDyn / SCAFFOLD plug into [`run_local_sgd`].
-pub type GradHook<'h> = &'h mut dyn FnMut(&mut Vec<f32>, &[f32]);
-
 /// The shared local-SGD loop: `epochs` passes over the client's shuffled
-/// data, one optimizer step per mini-batch, with an optional flat-space
-/// gradient hook `(grads, current_params)` applied between backward and
-/// step (this is where FedProx / FedTrip / FedDyn / SCAFFOLD attach).
+/// data, one optimizer step per mini-batch. The algorithm's gradient
+/// adjustment (FedProx / FedTrip / FedDyn / SCAFFOLD / MimeLite attach
+/// here) is fused into the optimizer update via
+/// [`Optimizer::step_adjusted`] — no flatten/scatter round-trip, no
+/// allocation, and the raw gradient buffers stay untouched.
+///
+/// The mini-batch tensor and label vector are reused across every batch
+/// and epoch, so steady-state iterations only allocate in the per-epoch
+/// shuffle ([`BatchIter::new`] clones the sample refs).
 ///
 /// Returns `(iterations, samples_processed, mean_loss)`.
 pub fn run_local_sgd(
@@ -572,23 +573,20 @@ pub fn run_local_sgd(
     data: &ClientData<'_>,
     ctx: &LocalContext<'_>,
     opt: &mut dyn Optimizer,
-    mut grad_hook: Option<GradHook<'_>>,
+    adjust: &GradAdjust<'_>,
 ) -> (usize, usize, f64) {
     let mut iterations = 0usize;
     let mut samples = 0usize;
     let mut loss_sum = 0.0f64;
+    let mut x = Tensor::zeros(&[1]);
+    let mut y: Vec<usize> = Vec::new();
     for epoch in 0..ctx.epochs {
         let mut rng = ctx.epoch_rng(epoch);
-        for (x, y) in BatchIter::new(data.dataset, data.refs, ctx.batch_size, &mut rng) {
+        let mut batches = BatchIter::new(data.dataset, data.refs, ctx.batch_size, &mut rng);
+        while batches.next_into(&mut x, &mut y) {
             net.zero_grads();
             let loss = net.train_step(&x, &y);
-            if let Some(hook) = grad_hook.as_mut() {
-                let w = net.params_flat();
-                let mut g = net.grads_flat();
-                hook(&mut g, &w);
-                net.set_grads_flat(&g);
-            }
-            opt.step(net);
+            opt.step_adjusted(net, adjust);
             iterations += 1;
             samples += y.len();
             loss_sum += loss;

@@ -13,7 +13,7 @@ use super::{
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{GradAdjust, Sequential};
 
 /// The SCAFFOLD method.
 #[derive(Debug, Clone, Default)]
@@ -67,31 +67,33 @@ impl Algorithm for Scaffold {
         {
             state.correction = Some(vec![0.0; n]);
         }
-        let c_k = state.correction.clone().expect("initialized above");
-        let c_server: Vec<f32> = if self.c.len() == n {
-            self.c.clone()
+        // zeros fallback only materializes on a size change
+        let zeros;
+        let c_server: &[f32] = if self.c.len() == n {
+            &self.c
         } else {
-            vec![0.0; n]
+            zeros = vec![0.0f32; n];
+            &zeros
         };
-        let mut hook = |g: &mut Vec<f32>, _w: &[f32]| {
-            for ((gv, &ck), &cs) in g.iter_mut().zip(&c_k).zip(&c_server) {
-                *gv += cs - ck;
-            }
+        // the client variate is borrowed, not cloned: the fused sweep only
+        // reads it, and the option-II refresh below runs in place
+        let adjust = GradAdjust::ControlVariates {
+            c_server,
+            c_client: state.correction.as_deref().expect("initialized above"),
         };
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let (iterations, samples, mean_loss) =
-            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
 
         let params = net.params_flat();
         // option II refresh: c_k+ = c_k - c + (w_global - w_k) / (K * lr)
         let scale = 1.0 / (iterations.max(1) as f32 * ctx.lr);
         let mut delta_c = vec![0.0f32; n];
         {
-            let ck_new = state.correction.as_mut().expect("initialized above");
+            let ck = state.correction.as_mut().expect("initialized above");
             for i in 0..n {
-                let fresh = c_k[i] - c_server[i] + (ctx.global[i] - params[i]) * scale;
-                delta_c[i] = fresh - c_k[i];
-                ck_new[i] = fresh;
+                let fresh = ck[i] - c_server[i] + (ctx.global[i] - params[i]) * scale;
+                delta_c[i] = fresh - ck[i];
+                ck[i] = fresh;
             }
         }
         state.last_round = Some(ctx.round);

@@ -15,7 +15,7 @@ use super::{
 };
 use crate::costs::{formulas, AttachCost, CostModel};
 use fedtrip_tensor::optim::{Optimizer, Sgd};
-use fedtrip_tensor::Sequential;
+use fedtrip_tensor::{GradAdjust, Sequential};
 
 /// The SlowMo method.
 #[derive(Debug, Clone)]
@@ -64,7 +64,8 @@ impl Algorithm for SlowMo {
         ctx: &LocalContext<'_>,
     ) -> LocalOutcome {
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), None);
+        let (iterations, samples, mean_loss) =
+            run_local_sgd(net, data, ctx, opt.as_mut(), &GradAdjust::None);
         state.last_round = Some(ctx.round);
         LocalOutcome {
             params: net.params_flat(),

@@ -75,7 +75,7 @@ pub struct ClientExecutor<'a> {
     pub dataset: &'a SyntheticVision,
     /// Per-client sample assignment.
     pub partition: &'a Partition,
-    /// Architecture template (cloned per worker).
+    /// Architecture template (cloned once per worker group).
     pub template: &'a Sequential,
     /// Upload codec applied to each outcome before it reaches the server
     /// (the lossless [`Identity`](crate::compression::Identity) skips the
@@ -115,33 +115,54 @@ impl ClientExecutor<'_> {
         let compressor = self.compressor;
         let round_lr = cfg.lr_schedule.lr_at(cfg.lr, round);
 
-        let outcomes: Vec<LocalOutcome> = taken
-            .par_iter_mut()
-            .map(|(client_id, state, shard)| {
+        // One template clone per worker group, not per client: the network
+        // (its scratch arena, layer caches, and the thread-local GEMM pack
+        // buffers it warms) is reused across every client in the group, so
+        // steady-state local training stays allocation-free. Reuse cannot
+        // change results: loading the global parameters plus the per-batch
+        // `zero_grads` resets everything a training run reads, and scratch
+        // buffers are overwritten before use — so outcomes are independent
+        // of how clients are grouped onto workers.
+        let groups = rayon::current_num_threads().max(1);
+        let chunk = taken.len().div_ceil(groups).max(1);
+        let grouped: Vec<Vec<LocalOutcome>> = taken
+            .par_chunks_mut(chunk)
+            .map(|group| {
                 let mut net = template.clone();
-                net.set_params_flat(global);
-                let ctx = LocalContext {
-                    round,
-                    client_id: *client_id,
-                    global,
-                    gap: state.last_round.map(|lr| round.saturating_sub(lr)),
-                    epochs: cfg.local_epochs,
-                    batch_size: cfg.batch_size,
-                    lr: round_lr,
-                    momentum: cfg.momentum,
-                    seed: cfg.seed,
-                };
-                let data = ClientData {
-                    dataset,
-                    refs: &shard[..],
-                };
-                let mut outcome = algorithm.local_train(&mut net, &data, state, &ctx);
-                if !compressor.is_identity() {
-                    compress_outcome(&mut outcome, global, state, compressor, cfg.error_feedback);
+                let mut outs = Vec::with_capacity(group.len());
+                for (client_id, state, shard) in group.iter_mut() {
+                    net.set_params_flat(global);
+                    let ctx = LocalContext {
+                        round,
+                        client_id: *client_id,
+                        global,
+                        gap: state.last_round.map(|lr| round.saturating_sub(lr)),
+                        epochs: cfg.local_epochs,
+                        batch_size: cfg.batch_size,
+                        lr: round_lr,
+                        momentum: cfg.momentum,
+                        seed: cfg.seed,
+                    };
+                    let data = ClientData {
+                        dataset,
+                        refs: &shard[..],
+                    };
+                    let mut outcome = algorithm.local_train(&mut net, &data, state, &ctx);
+                    if !compressor.is_identity() {
+                        compress_outcome(
+                            &mut outcome,
+                            global,
+                            state,
+                            compressor,
+                            cfg.error_feedback,
+                        );
+                    }
+                    outs.push(outcome);
                 }
-                outcome
+                outs
             })
             .collect();
+        let outcomes: Vec<LocalOutcome> = grouped.into_iter().flatten().collect();
 
         // return states
         for (c, s, _) in taken {

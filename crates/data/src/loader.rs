@@ -43,6 +43,21 @@ impl<'a> BatchIter<'a> {
     pub fn num_batches(&self) -> usize {
         self.order.len().div_ceil(self.batch_size)
     }
+
+    /// Advance to the next batch, synthesizing it into caller-owned buffers
+    /// (see [`SyntheticVision::batch_into`]). Returns `false` when the epoch
+    /// is exhausted, leaving the buffers untouched. The allocation-free
+    /// counterpart of the `Iterator` impl.
+    pub fn next_into(&mut self, x: &mut Tensor, y: &mut Vec<usize>) -> bool {
+        if self.cursor >= self.order.len() {
+            return false;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = &self.order[self.cursor..end];
+        self.cursor = end;
+        self.dataset.batch_into(batch, x, y);
+        true
+    }
 }
 
 impl Iterator for BatchIter<'_> {
@@ -107,6 +122,26 @@ mod tests {
             .map(|(_, y)| y)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_into_matches_iterator_batches_exactly() {
+        let d = SyntheticVision::new(DatasetKind::MnistLike, 1);
+        let rs = refs(25);
+        let mut r1 = Prng::seed_from_u64(9);
+        let mut r2 = Prng::seed_from_u64(9);
+        let expected: Vec<_> = BatchIter::new(&d, &rs, 10, &mut r1).collect();
+        let mut it = BatchIter::new(&d, &rs, 10, &mut r2);
+        // deliberately undersized + poisoned so reuse/overwrite is exercised
+        let mut x = Tensor::full(&[1], 7.0);
+        let mut y = vec![99usize];
+        for (ex, ey) in expected {
+            assert!(it.next_into(&mut x, &mut y));
+            assert_eq!(x.shape(), ex.shape());
+            assert_eq!(x.as_slice(), ex.as_slice());
+            assert_eq!(y, ey);
+        }
+        assert!(!it.next_into(&mut x, &mut y));
     }
 
     #[test]

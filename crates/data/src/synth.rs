@@ -332,16 +332,29 @@ impl SyntheticVision {
     pub fn batch(&self, refs: &[SampleRef]) -> (Tensor, Vec<usize>) {
         assert!(!refs.is_empty(), "empty batch");
         let spec = &self.spec;
-        let elems = spec.sample_elems();
-        let mut data = vec![0.0f32; refs.len() * elems];
+        let mut t = Tensor::zeros(&[refs.len(), spec.channels, spec.height, spec.width]);
         let mut labels = Vec::with_capacity(refs.len());
+        self.batch_into(refs, &mut t, &mut labels);
+        (t, labels)
+    }
+
+    /// Like [`SyntheticVision::batch`], but synthesizes into caller-owned
+    /// buffers: `x` is re-shaped in place (its storage is reused when large
+    /// enough) and `labels` is cleared and refilled. This is the hot-loop
+    /// form used by the local-SGD trainer so steady-state batch synthesis
+    /// does not allocate. Every pixel is overwritten, so stale contents in
+    /// `x` never leak through.
+    pub fn batch_into(&self, refs: &[SampleRef], x: &mut Tensor, labels: &mut Vec<usize>) {
+        assert!(!refs.is_empty(), "empty batch");
+        let spec = &self.spec;
+        let elems = spec.sample_elems();
+        x.reuse(&[refs.len(), spec.channels, spec.height, spec.width]);
+        labels.clear();
+        let data = x.as_mut_slice();
         for (i, &r) in refs.iter().enumerate() {
             self.write_sample(r, &mut data[i * elems..(i + 1) * elems]);
             labels.push(self.label_of(r));
         }
-        let t = Tensor::from_vec(data, &[refs.len(), spec.channels, spec.height, spec.width])
-            .expect("batch shape consistent by construction");
-        (t, labels)
     }
 
     /// A balanced held-out test set (`per_class` samples per class), drawn

@@ -66,33 +66,72 @@ impl ConvGeom {
 /// `img` must have `in_c * in_h * in_w` elements; `col` must have
 /// `col_rows() * col_cols()` elements and is fully overwritten.
 pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
-    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
     debug_assert_eq!(col.len(), g.col_rows() * g.col_cols());
+    im2col_into(g, img, col, g.col_cols(), 0);
+}
+
+/// [`im2col`] into a strided destination: row `r` of the per-image column
+/// matrix lands at `col[r * row_stride + col_offset ..][..col_cols()]`.
+///
+/// This is what lets a whole batch share one wide `[C*KH*KW, B*OH*OW]`
+/// column matrix (image `bi` at `col_offset = bi * col_cols()`), so the
+/// convolution becomes a single SGEMM per layer instead of one per image.
+pub fn im2col_into(
+    g: &ConvGeom,
+    img: &[f32],
+    col: &mut [f32],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
+    debug_assert!(row_stride >= n_cols);
     for c in 0..g.in_c {
         let plane = &img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
         for kh in 0..g.k_h {
             for kw in 0..g.k_w {
                 let row = (c * g.k_h + kh) * g.k_w + kw;
-                let dst = &mut col[row * n_cols..(row + 1) * n_cols];
-                let mut di = 0usize;
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-                    if iy < 0 || iy >= g.in_h as isize {
-                        dst[di..di + ow].fill(0.0);
-                        di += ow;
-                        continue;
+                let dst = &mut col[row * row_stride + col_offset..][..n_cols];
+                if g.stride == 1 {
+                    // stride-1 fast path: each output row is a contiguous
+                    // slice of the input row, bordered by pad zeros
+                    for oy in 0..oh {
+                        let d = &mut dst[oy * ow..(oy + 1) * ow];
+                        let iy = (oy + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            d.fill(0.0);
+                            continue;
+                        }
+                        // valid ox: 0 <= ox + kw - pad < in_w
+                        let lo = (g.pad as isize - kw as isize).clamp(0, ow as isize) as usize;
+                        let hi = (g.in_w as isize + g.pad as isize - kw as isize)
+                            .clamp(lo as isize, ow as isize)
+                            as usize;
+                        d[..lo].fill(0.0);
+                        let src0 = iy as usize * g.in_w + lo + kw - g.pad;
+                        d[lo..hi].copy_from_slice(&plane[src0..src0 + (hi - lo)]);
+                        d[hi..].fill(0.0);
                     }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                        dst[di] = if ix < 0 || ix >= g.in_w as isize {
-                            0.0
-                        } else {
-                            plane[iy * g.in_w + ix as usize]
-                        };
-                        di += 1;
+                } else {
+                    let mut di = 0usize;
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            dst[di..di + ow].fill(0.0);
+                            di += ow;
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            dst[di] = if ix < 0 || ix >= g.in_w as isize {
+                                0.0
+                            } else {
+                                plane[iy * g.in_w + ix as usize]
+                            };
+                            di += 1;
+                        }
                     }
                 }
             }
@@ -104,30 +143,64 @@ pub fn im2col(g: &ConvGeom, img: &[f32], col: &mut [f32]) {
 /// gradient buffer `[C, H, W]` (which must be zeroed by the caller when a
 /// fresh gradient is wanted).
 pub fn col2im_accum(g: &ConvGeom, col: &[f32], img: &mut [f32]) {
-    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
     debug_assert_eq!(col.len(), g.col_rows() * g.col_cols());
+    col2im_accum_from(g, col, g.col_cols(), 0, img);
+}
+
+/// [`col2im_accum`] from a strided source: row `r` of the per-image column
+/// gradient is read at `col[r * row_stride + col_offset ..][..col_cols()]`
+/// (the batched layout [`im2col_into`] writes).
+pub fn col2im_accum_from(
+    g: &ConvGeom,
+    col: &[f32],
+    row_stride: usize,
+    col_offset: usize,
+    img: &mut [f32],
+) {
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
     let (oh, ow) = (g.out_h(), g.out_w());
     let n_cols = oh * ow;
+    debug_assert!(row_stride >= n_cols);
     for c in 0..g.in_c {
         let plane = &mut img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
         for kh in 0..g.k_h {
             for kw in 0..g.k_w {
                 let row = (c * g.k_h + kh) * g.k_w + kw;
-                let src = &col[row * n_cols..(row + 1) * n_cols];
-                let mut si = 0usize;
-                for oy in 0..oh {
-                    let iy = (oy * g.stride + kh) as isize - g.pad as isize;
-                    if iy < 0 || iy >= g.in_h as isize {
-                        si += ow;
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    for ox in 0..ow {
-                        let ix = (ox * g.stride + kw) as isize - g.pad as isize;
-                        if ix >= 0 && ix < g.in_w as isize {
-                            plane[iy * g.in_w + ix as usize] += src[si];
+                let src = &col[row * row_stride + col_offset..][..n_cols];
+                if g.stride == 1 {
+                    // stride-1 fast path: the valid span of each output row
+                    // accumulates into a contiguous input-row slice
+                    for oy in 0..oh {
+                        let s = &src[oy * ow..(oy + 1) * ow];
+                        let iy = (oy + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            continue;
                         }
-                        si += 1;
+                        let lo = (g.pad as isize - kw as isize).clamp(0, ow as isize) as usize;
+                        let hi = (g.in_w as isize + g.pad as isize - kw as isize)
+                            .clamp(lo as isize, ow as isize)
+                            as usize;
+                        let dst0 = iy as usize * g.in_w + lo + kw - g.pad;
+                        for (d, &v) in plane[dst0..dst0 + (hi - lo)].iter_mut().zip(&s[lo..hi]) {
+                            *d += v;
+                        }
+                    }
+                } else {
+                    let mut si = 0usize;
+                    for oy in 0..oh {
+                        let iy = (oy * g.stride + kh) as isize - g.pad as isize;
+                        if iy < 0 || iy >= g.in_h as isize {
+                            si += ow;
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * g.stride + kw) as isize - g.pad as isize;
+                            if ix >= 0 && ix < g.in_w as isize {
+                                plane[iy * g.in_w + ix as usize] += src[si];
+                            }
+                            si += 1;
+                        }
                     }
                 }
             }

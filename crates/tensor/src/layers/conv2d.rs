@@ -1,15 +1,21 @@
 //! 2-d convolution layer (im2col + SGEMM lowering).
 
 use super::Layer;
-use crate::conv::{col2im_accum, im2col, ConvGeom};
-use crate::linalg::{sgemm, sgemm_a_bt, sgemm_at_b_accum};
+use crate::conv::{col2im_accum_from, im2col_into, ConvGeom};
+use crate::linalg::{sgemm, sgemm_a_bt, sgemm_at_b};
 use crate::rng::Prng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// 2-d convolution over `[batch, C, H, W]` inputs.
 ///
 /// Weights are stored as the `[out_c, in_c*k_h*k_w]` filter matrix that the
-/// im2col lowering multiplies directly.
+/// im2col lowering multiplies directly. The whole batch is unrolled into one
+/// wide `[in_c*k_h*k_w, batch*out_h*out_w]` column matrix so each of the
+/// forward / weight-gradient / input-gradient passes is a **single** SGEMM
+/// per layer — per-image GEMMs on these paper-scale geometries are too small
+/// to amortize the packed kernel's setup (the worst case, a 1x1 output map,
+/// degenerates to a GEMV that wastes the whole N-tile).
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     geom: ConvGeom,
@@ -17,7 +23,9 @@ pub struct Conv2d {
     bias: Vec<f32>,
     grad_weight: Vec<f32>,
     grad_bias: Vec<f32>,
-    cached_input: Option<Tensor>,
+    /// Batched column matrix from the last forward, reused by backward
+    /// (with the batch size it was built for).
+    cached_col: Option<(Vec<f32>, usize)>,
 }
 
 impl Conv2d {
@@ -36,7 +44,7 @@ impl Conv2d {
             bias: vec![0.0; geom.out_c],
             grad_weight: vec![0.0; geom.out_c * fan_in],
             grad_bias: vec![0.0; geom.out_c],
-            cached_input: None,
+            cached_col: None,
         }
     }
 
@@ -59,80 +67,117 @@ impl Layer for Conv2d {
         "conv2d"
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward(&mut self, input: Tensor, scratch: &mut Scratch) -> Tensor {
         let g = &self.geom;
         let batch = input.len() / self.in_elems();
         debug_assert_eq!(batch * self.in_elems(), input.len(), "conv2d input size");
         let (oh, ow) = (g.out_h(), g.out_w());
-        let mut out = Tensor::zeros(&[batch, g.out_c, oh, ow]);
-        let mut col = vec![0.0f32; g.col_rows() * g.col_cols()];
         let n_cols = g.col_cols();
+        let wide = batch * n_cols;
+
+        // one wide column matrix for the whole batch (image bi occupies
+        // columns [bi*n_cols, (bi+1)*n_cols)); fully overwritten by im2col
+        let mut col = scratch.take(g.col_rows() * wide);
         for bi in 0..batch {
             let img = &input.as_slice()[bi * self.in_elems()..(bi + 1) * self.in_elems()];
-            im2col(g, img, &mut col);
-            let dst = &mut out.as_mut_slice()[bi * self.out_elems()..(bi + 1) * self.out_elems()];
-            sgemm(g.out_c, g.col_rows(), n_cols, &self.weight, &col, dst);
-            for oc in 0..g.out_c {
-                let b = self.bias[oc];
-                for v in &mut dst[oc * n_cols..(oc + 1) * n_cols] {
-                    *v += b;
+            im2col_into(g, img, &mut col, wide, bi * n_cols);
+        }
+
+        // single forward GEMM: [out_c, col_rows] x [col_rows, wide]
+        let mut out_wide = scratch.take(g.out_c * wide);
+        sgemm(
+            g.out_c,
+            g.col_rows(),
+            wide,
+            &self.weight,
+            &col,
+            &mut out_wide,
+        );
+
+        // un-interleave [out_c, batch*n_cols] -> [batch, out_c, n_cols],
+        // fusing the bias add into the copy (overwrites every element)
+        let mut out = scratch.take_tensor(&[batch, g.out_c, oh, ow]);
+        let dst = out.as_mut_slice();
+        for oc in 0..g.out_c {
+            let b = self.bias[oc];
+            let src_row = &out_wide[oc * wide..(oc + 1) * wide];
+            for bi in 0..batch {
+                let d = &mut dst[(bi * g.out_c + oc) * n_cols..][..n_cols];
+                for (dv, &sv) in d.iter_mut().zip(&src_row[bi * n_cols..][..n_cols]) {
+                    *dv = sv + b;
                 }
             }
         }
-        self.cached_input = Some(input.clone());
+        scratch.give(out_wide);
+
+        // backward reuses the column matrix instead of re-running im2col;
+        // the input itself is no longer needed
+        if let Some((old, _)) = self.cached_col.replace((col, batch)) {
+            scratch.give(old);
+        }
+        scratch.give_tensor(input);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, scratch: &mut Scratch) -> Tensor {
         let g = self.geom;
-        let input = self
-            .cached_input
-            .as_ref()
+        let (mut col, batch) = self
+            .cached_col
+            .take()
             .expect("Conv2d::backward called before forward");
-        let batch = input.len() / self.in_elems();
         let n_cols = g.col_cols();
+        let wide = batch * n_cols;
         let in_elems = self.in_elems();
         let out_elems = self.out_elems();
         debug_assert_eq!(grad_out.len(), batch * out_elems);
+        debug_assert_eq!(col.len(), g.col_rows() * wide);
 
-        let mut grad_in = Tensor::zeros(&[batch, g.in_c, g.in_h, g.in_w]);
-        let mut col = vec![0.0f32; g.col_rows() * n_cols];
-        let mut col_grad = vec![0.0f32; g.col_rows() * n_cols];
-
+        // gather dY [batch, out_c, n_cols] into the wide layout
+        // [out_c, batch*n_cols] that pairs with the cached column matrix
+        let mut dy_wide = scratch.take(g.out_c * wide);
         for bi in 0..batch {
-            let img = &input.as_slice()[bi * in_elems..(bi + 1) * in_elems];
             let dy = &grad_out.as_slice()[bi * out_elems..(bi + 1) * out_elems];
-
-            // dW += dY * col^T: dY is [out_c, n_cols], col is [col_rows, n_cols]
-            im2col(&g, img, &mut col);
-            let mut dw = vec![0.0f32; g.out_c * g.col_rows()];
-            sgemm_a_bt(g.out_c, n_cols, g.col_rows(), dy, &col, &mut dw);
-            for (acc, v) in self.grad_weight.iter_mut().zip(&dw) {
-                *acc += v;
-            }
-
-            // db += per-channel sums of dY
             for oc in 0..g.out_c {
-                let mut s = 0.0f32;
-                for &v in &dy[oc * n_cols..(oc + 1) * n_cols] {
-                    s += v;
-                }
-                self.grad_bias[oc] += s;
+                dy_wide[oc * wide + bi * n_cols..][..n_cols]
+                    .copy_from_slice(&dy[oc * n_cols..(oc + 1) * n_cols]);
             }
-
-            // d(col) = W^T dY: accumulate into image gradient via col2im
-            col_grad.fill(0.0);
-            sgemm_at_b_accum(
-                g.out_c,
-                g.col_rows(),
-                n_cols,
-                &self.weight,
-                dy,
-                &mut col_grad,
-            );
-            let gi = &mut grad_in.as_mut_slice()[bi * in_elems..(bi + 1) * in_elems];
-            col2im_accum(&g, &col_grad, gi);
         }
+
+        // dW += dY_wide * col^T — one GEMM reduces over the whole batch
+        let mut dw = scratch.take(g.out_c * g.col_rows());
+        sgemm_a_bt(g.out_c, wide, g.col_rows(), &dy_wide, &col, &mut dw);
+        for (acc, v) in self.grad_weight.iter_mut().zip(&dw) {
+            *acc += v;
+        }
+        scratch.give(dw);
+
+        // db += per-channel sums of dY
+        for oc in 0..g.out_c {
+            let mut s = 0.0f32;
+            for &v in &dy_wide[oc * wide..(oc + 1) * wide] {
+                s += v;
+            }
+            self.grad_bias[oc] += s;
+        }
+
+        // d(col) = W^T dY_wide — reuse the column buffer (its contents were
+        // consumed by the dW GEMM above); then scatter back per image
+        sgemm_at_b(
+            g.out_c,
+            g.col_rows(),
+            wide,
+            &self.weight,
+            &dy_wide,
+            &mut col,
+        );
+        scratch.give(dy_wide);
+        let mut grad_in = scratch.take_tensor_zeroed(&[batch, g.in_c, g.in_h, g.in_w]);
+        for bi in 0..batch {
+            let gi = &mut grad_in.as_mut_slice()[bi * in_elems..(bi + 1) * in_elems];
+            col2im_accum_from(&g, &col, wide, bi * n_cols, gi);
+        }
+        scratch.give(col);
+        scratch.give_tensor(grad_out);
         grad_in
     }
 
@@ -157,6 +202,15 @@ impl Layer for Conv2d {
             (&mut self.weight[..], &self.grad_weight[..]),
             (&mut self.bias[..], &self.grad_bias[..]),
         ]
+    }
+
+    fn for_each_param_grad(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
     }
 
     fn zero_grads(&mut self) {
@@ -208,7 +262,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(7);
         let mut conv = Conv2d::new(small_geom(), &mut rng);
         let x = Tensor::randn(&[2, 2, 6, 6], 1.0, &mut rng);
-        let y = conv.forward(&x);
+        let y = conv.forward(x, &mut Scratch::new());
         assert_eq!(y.shape(), &[2, 3, 6, 6]);
     }
 
@@ -236,7 +290,7 @@ mod tests {
         let mut rng = Prng::seed_from_u64(9);
         let mut conv = Conv2d::new(g, &mut rng);
         let x = Tensor::randn(&[1, 1, 8, 8], 1.0, &mut rng);
-        let y = conv.forward(&x);
+        let y = conv.forward(x, &mut Scratch::new());
         assert_eq!(y.shape(), &[1, 4, 4, 4]);
         assert_eq!(conv.output_shape(&[1, 8, 8]), vec![4, 4, 4]);
     }
@@ -255,7 +309,7 @@ mod tests {
         let mut conv = Conv2d::new(g, &mut rng);
         let x = Tensor::zeros(&[1, 2, 6, 6]);
         conv.params_mut()[1].copy_from_slice(&[1.0, 2.0, 3.0]);
-        let y = conv.forward(&x);
+        let y = conv.forward(x, &mut Scratch::new());
         let n = g.col_cols();
         for oc in 0..3 {
             for &v in &y.as_slice()[oc * n..(oc + 1) * n] {

@@ -3,6 +3,7 @@
 use super::Layer;
 use crate::linalg::{sgemm, sgemm_a_bt, sgemm_at_b_accum};
 use crate::rng::Prng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Fully-connected layer: `y = x W + b` with `W: [in, out]`, `b: [out]`.
@@ -51,7 +52,7 @@ impl Layer for Dense {
         "dense"
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward(&mut self, input: Tensor, scratch: &mut Scratch) -> Tensor {
         let batch = input.len() / self.in_dim;
         debug_assert_eq!(
             batch * self.in_dim,
@@ -60,7 +61,8 @@ impl Layer for Dense {
             input.len(),
             self.in_dim
         );
-        let mut out = Tensor::zeros(&[batch, self.out_dim]);
+        // sgemm fully overwrites `out`, so stale scratch contents are fine
+        let mut out = scratch.take_tensor(&[batch, self.out_dim]);
         sgemm(
             batch,
             self.in_dim,
@@ -75,14 +77,16 @@ impl Layer for Dense {
                 *o += b;
             }
         }
-        self.cached_input = Some(input.clone());
+        if let Some(old) = self.cached_input.replace(input) {
+            scratch.give_tensor(old);
+        }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, scratch: &mut Scratch) -> Tensor {
         let x = self
             .cached_input
-            .as_ref()
+            .take()
             .expect("Dense::backward called before forward");
         let batch = grad_out.len() / self.out_dim;
         debug_assert_eq!(batch * self.in_dim, x.len());
@@ -102,8 +106,9 @@ impl Layer for Dense {
                 *g += d;
             }
         }
-        // dX = dY W^T  (W: [in, out] interpreted as B with n=in, k=out)
-        let mut grad_in = Tensor::zeros(&[batch, self.in_dim]);
+        // dX = dY W^T  (W: [in, out] interpreted as B with n=in, k=out);
+        // fully overwritten by sgemm_a_bt
+        let mut grad_in = scratch.take_tensor(&[batch, self.in_dim]);
         sgemm_a_bt(
             batch,
             self.out_dim,
@@ -112,6 +117,8 @@ impl Layer for Dense {
             &self.weight,
             grad_in.as_mut_slice(),
         );
+        scratch.give_tensor(x);
+        scratch.give_tensor(grad_out);
         grad_in
     }
 
@@ -136,6 +143,15 @@ impl Layer for Dense {
             (&mut self.weight[..], &self.grad_weight[..]),
             (&mut self.bias[..], &self.grad_bias[..]),
         ]
+    }
+
+    fn for_each_param_grad(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        f(&mut self.weight, &self.grad_weight);
+        f(&mut self.bias, &self.grad_bias);
+    }
+
+    fn num_params(&self) -> usize {
+        self.weight.len() + self.bias.len()
     }
 
     fn zero_grads(&mut self) {
@@ -175,7 +191,7 @@ mod tests {
         d.params_mut()[0].copy_from_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]); // W [2,3]
         d.params_mut()[1].copy_from_slice(&[0.1, 0.2, 0.3]);
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
-        let y = d.forward(&x);
+        let y = d.forward(x, &mut Scratch::new());
         assert_eq!(y.shape(), &[1, 3]);
         let e = [5.1f32, 7.2, 9.3];
         for (a, b) in y.as_slice().iter().zip(&e) {
@@ -198,11 +214,12 @@ mod tests {
         let mut d = Dense::new(2, 2, &mut rng);
         let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
         let g = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
-        d.forward(&x);
-        d.backward(&g);
+        let mut s = Scratch::new();
+        d.forward(x.clone(), &mut s);
+        d.backward(g.clone(), &mut s);
         let g1 = d.grads()[0].to_vec();
-        d.forward(&x);
-        d.backward(&g);
+        d.forward(x, &mut s);
+        d.backward(g, &mut s);
         let g2 = d.grads()[0].to_vec();
         for (a, b) in g1.iter().zip(&g2) {
             assert!((2.0 * a - b).abs() < 1e-5, "accumulation broken: {a} {b}");

@@ -2,6 +2,7 @@
 
 use super::Layer;
 use crate::rng::Prng;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Inverted dropout: during training each activation is zeroed with
@@ -46,17 +47,16 @@ impl Layer for Dropout {
         "dropout"
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward(&mut self, mut input: Tensor, _scratch: &mut Scratch) -> Tensor {
         if !self.training || self.p == 0.0 {
             self.mask.clear();
-            return input.clone();
+            return input;
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         self.mask.clear();
         self.mask.reserve(input.len());
-        let mut out = input.clone();
-        for v in out.as_mut_slice() {
+        for v in input.as_mut_slice() {
             if self.rng.uniform() < self.p {
                 self.mask.push(0.0);
                 *v = 0.0;
@@ -65,24 +65,23 @@ impl Layer for Dropout {
                 *v *= scale;
             }
         }
-        out
+        input
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, mut grad_out: Tensor, _scratch: &mut Scratch) -> Tensor {
         if self.mask.is_empty() {
             // eval mode (or p == 0): identity
-            return grad_out.clone();
+            return grad_out;
         }
         assert_eq!(
             grad_out.len(),
             self.mask.len(),
             "Dropout::backward shape drift"
         );
-        let mut g = grad_out.clone();
-        for (gv, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+        for (gv, &m) in grad_out.as_mut_slice().iter_mut().zip(&self.mask) {
             *gv *= m;
         }
-        g
+        grad_out
     }
 
     fn flops_forward(&self) -> u64 {
@@ -118,10 +117,11 @@ mod tests {
     fn eval_mode_is_identity() {
         let mut d = Dropout::new(0.5, 1);
         d.set_training(false);
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
-        let y = d.forward(&x);
+        let y = d.forward(x.clone(), &mut s);
         assert_eq!(y.as_slice(), x.as_slice());
-        let g = d.backward(&y);
+        let g = d.backward(y, &mut s);
         assert_eq!(g.as_slice(), x.as_slice());
     }
 
@@ -129,7 +129,7 @@ mod tests {
     fn train_mode_zeroes_roughly_p_fraction() {
         let mut d = Dropout::new(0.3, 2);
         let x = Tensor::full(&[10_000], 1.0);
-        let y = d.forward(&x);
+        let y = d.forward(x, &mut Scratch::new());
         let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
         let frac = zeros as f64 / 10_000.0;
         assert!((frac - 0.3).abs() < 0.03, "drop fraction {frac}");
@@ -139,7 +139,7 @@ mod tests {
     fn survivors_are_rescaled_to_preserve_expectation() {
         let mut d = Dropout::new(0.5, 3);
         let x = Tensor::full(&[20_000], 1.0);
-        let y = d.forward(&x);
+        let y = d.forward(x, &mut Scratch::new());
         let mean = y.mean();
         assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
         // survivors carry exactly 1/(1-p)
@@ -152,9 +152,10 @@ mod tests {
     #[test]
     fn backward_routes_through_same_mask() {
         let mut d = Dropout::new(0.5, 4);
+        let mut s = Scratch::new();
         let x = Tensor::full(&[100], 1.0);
-        let y = d.forward(&x);
-        let g = d.backward(&Tensor::full(&[100], 1.0));
+        let y = d.forward(x, &mut s);
+        let g = d.backward(Tensor::full(&[100], 1.0), &mut s);
         for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
             assert_eq!(yv, gv, "gradient mask must equal forward mask");
         }
@@ -164,7 +165,10 @@ mod tests {
     fn zero_p_is_identity_even_in_training() {
         let mut d = Dropout::new(0.0, 5);
         let x = Tensor::from_vec(vec![5.0, 6.0], &[2]).unwrap();
-        assert_eq!(d.forward(&x).as_slice(), x.as_slice());
+        assert_eq!(
+            d.forward(x.clone(), &mut Scratch::new()).as_slice(),
+            x.as_slice()
+        );
     }
 
     #[test]

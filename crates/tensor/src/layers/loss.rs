@@ -1,5 +1,6 @@
 //! Softmax cross-entropy loss head.
 
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Combined softmax + cross-entropy loss with the numerically stable
@@ -24,9 +25,35 @@ impl SoftmaxCrossEntropy {
     pub fn forward_backward(&self, logits: &Tensor, targets: &[usize]) -> (f64, Tensor) {
         let classes = *logits.shape().last().expect("logits must be 2-d");
         let batch = logits.len() / classes;
-        assert_eq!(batch, targets.len(), "target count != batch size");
-
         let mut grad = Tensor::zeros(&[batch, classes]);
+        let loss = self.fb_into(logits, targets, &mut grad);
+        (loss, grad)
+    }
+
+    /// Like [`SoftmaxCrossEntropy::forward_backward`], but the gradient is
+    /// written into a recycled scratch tensor (the hot-loop form used by
+    /// `Sequential::train_step`).
+    pub fn forward_backward_scratch(
+        &self,
+        logits: &Tensor,
+        targets: &[usize],
+        scratch: &mut Scratch,
+    ) -> (f64, Tensor) {
+        let classes = *logits.shape().last().expect("logits must be 2-d");
+        let batch = logits.len() / classes;
+        // every gradient element is written by fb_into
+        let mut grad = scratch.take_tensor(&[batch, classes]);
+        let loss = self.fb_into(logits, targets, &mut grad);
+        (loss, grad)
+    }
+
+    /// Core loss/gradient pass; overwrites every element of `grad`.
+    fn fb_into(&self, logits: &Tensor, targets: &[usize], grad: &mut Tensor) -> f64 {
+        let classes = *logits.shape().last().expect("logits must be 2-d");
+        let batch = logits.len() / classes;
+        assert_eq!(batch, targets.len(), "target count != batch size");
+        debug_assert_eq!(grad.len(), batch * classes);
+
         let mut total_loss = 0.0f64;
         let inv_b = 1.0f32 / batch as f32;
 
@@ -50,7 +77,7 @@ impl SoftmaxCrossEntropy {
                 *g = (p - if j == t { 1.0 } else { 0.0 }) * inv_b;
             }
         }
-        (total_loss / batch as f64, grad)
+        total_loss / batch as f64
     }
 
     /// Softmax probabilities (used by evaluation / t-SNE tooling).
@@ -148,6 +175,22 @@ mod tests {
         let (l, grad) = loss.forward_backward(&logits, &[0]);
         assert!(l.is_finite());
         assert!(grad.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_one() {
+        let loss = SoftmaxCrossEntropy::new();
+        let mut s = Scratch::new();
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2, 0.1, 0.0, -0.4], &[2, 3]).unwrap();
+        let targets = [2usize, 0];
+        let (l0, g0) = loss.forward_backward(&logits, &targets);
+        // poison the pool so stale contents would show through
+        let mut poison = s.take_tensor(&[2, 3]);
+        poison.as_mut_slice().fill(99.0);
+        s.give_tensor(poison);
+        let (l1, g1) = loss.forward_backward_scratch(&logits, &targets, &mut s);
+        assert_eq!(l0, l1);
+        assert_eq!(g0.as_slice(), g1.as_slice());
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub use loss::SoftmaxCrossEntropy;
 pub use pool::MaxPool2d;
 pub use simple::{Flatten, Relu};
 
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// A differentiable network layer.
@@ -28,18 +29,28 @@ use crate::tensor::Tensor;
 /// client is obtained through [`Layer::clone_box`]. `Send + Sync` so model
 /// templates can be shared read-only across rayon workers (each worker
 /// clones its own mutable copy).
+///
+/// Both passes take their tensor argument **by value** and draw working
+/// buffers from the [`Scratch`] arena: a layer either mutates the input in
+/// place and returns it, or gives the consumed tensor back to the arena and
+/// returns a recycled one. In steady state a whole forward/backward sweep
+/// performs no heap allocation.
 pub trait Layer: Send + Sync {
     /// Human-readable layer name (used in model summaries).
     fn name(&self) -> &'static str;
 
     /// Run the layer on a batch, caching whatever `backward` will need.
-    fn forward(&mut self, input: &Tensor) -> Tensor;
+    ///
+    /// Consumes `input`; buffers that do not escape as the result must be
+    /// returned to `scratch`.
+    fn forward(&mut self, input: Tensor, scratch: &mut Scratch) -> Tensor;
 
     /// Propagate the output gradient, accumulating parameter gradients and
     /// returning the input gradient.
     ///
-    /// Must be called after `forward` on the same batch.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    /// Must be called after `forward` on the same batch. Consumes
+    /// `grad_out`; buffers that do not escape must go back to `scratch`.
+    fn backward(&mut self, grad_out: Tensor, scratch: &mut Scratch) -> Tensor;
 
     /// Flat views of the layer's parameters, in a stable order.
     fn params(&self) -> Vec<&[f32]> {
@@ -67,6 +78,13 @@ pub trait Layer: Send + Sync {
     /// The two slices of each pair have identical lengths and stable order.
     fn params_and_grads(&mut self) -> Vec<(&mut [f32], &[f32])> {
         Vec::new()
+    }
+
+    /// Visit each (parameters, gradients) pair in the same stable order as
+    /// [`Layer::params_and_grads`] without allocating — the hot-loop form
+    /// used by fused optimizer sweeps.
+    fn for_each_param_grad(&mut self, f: &mut dyn FnMut(&mut [f32], &[f32])) {
+        let _ = f;
     }
 
     /// True for elementwise layers whose FLOP counts are *per element*
@@ -115,14 +133,15 @@ pub(crate) mod gradcheck {
     /// Check `d loss / d input` of `layer` against central finite differences
     /// where `loss = sum(weights * forward(x))` for a fixed random weighting.
     pub fn check_input_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
-        let y = layer.forward(x);
+        let mut s = Scratch::new();
+        let y = layer.forward(x.clone(), &mut s);
         // fixed pseudo-random weighting puts every output element in play
         let w: Vec<f32> = (0..y.len())
             .map(|i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5)
             .collect();
         let grad_out = Tensor::from_vec(w.clone(), y.shape()).unwrap();
         layer.zero_grads();
-        let gin = layer.backward(&grad_out);
+        let gin = layer.backward(grad_out, &mut s);
 
         let eps = 1e-2f32;
         let n_check = x.len().min(40);
@@ -132,14 +151,14 @@ pub(crate) mod gradcheck {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let yp = layer.forward(&xp);
+            let yp = layer.forward(xp, &mut s);
             let lp: f64 = yp
                 .as_slice()
                 .iter()
                 .zip(&w)
                 .map(|(&a, &b)| (a * b) as f64)
                 .sum();
-            let ym = layer.forward(&xm);
+            let ym = layer.forward(xm, &mut s);
             let lm: f64 = ym
                 .as_slice()
                 .iter()
@@ -157,13 +176,14 @@ pub(crate) mod gradcheck {
 
     /// Check `d loss / d params` against central finite differences.
     pub fn check_param_gradient(layer: &mut dyn Layer, x: &Tensor, tol: f32) {
-        let y = layer.forward(x);
+        let mut s = Scratch::new();
+        let y = layer.forward(x.clone(), &mut s);
         let w: Vec<f32> = (0..y.len())
             .map(|i| ((i * 2246822519) % 89) as f32 / 89.0 - 0.5)
             .collect();
         let grad_out = Tensor::from_vec(w.clone(), y.shape()).unwrap();
         layer.zero_grads();
-        let _ = layer.backward(&grad_out);
+        let _ = layer.backward(grad_out, &mut s);
         let analytic: Vec<Vec<f32>> = layer.grads().iter().map(|g| g.to_vec()).collect();
 
         let eps = 1e-2f32;
@@ -173,7 +193,7 @@ pub(crate) mod gradcheck {
             for idx in (0..g.len()).step_by(stride) {
                 let orig = layer.params()[pi][idx];
                 layer.params_mut()[pi][idx] = orig + eps;
-                let yp = layer.forward(x);
+                let yp = layer.forward(x.clone(), &mut s);
                 let lp: f64 = yp
                     .as_slice()
                     .iter()
@@ -181,7 +201,7 @@ pub(crate) mod gradcheck {
                     .map(|(&a, &b)| (a * b) as f64)
                     .sum();
                 layer.params_mut()[pi][idx] = orig - eps;
-                let ym = layer.forward(x);
+                let ym = layer.forward(x.clone(), &mut s);
                 let lm: f64 = ym
                     .as_slice()
                     .iter()

@@ -1,6 +1,7 @@
 //! Max-pooling layer.
 
 use super::Layer;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// 2-d max pooling over `[batch, C, H, W]` inputs with square window and
@@ -63,17 +64,53 @@ impl Layer for MaxPool2d {
         "maxpool2d"
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+    fn forward(&mut self, input: Tensor, scratch: &mut Scratch) -> Tensor {
         let batch = input.len() / self.in_elems();
         debug_assert_eq!(batch * self.in_elems(), input.len());
         let (oh, ow) = (self.out_h(), self.out_w());
-        let mut out = Tensor::zeros(&[batch, self.channels, oh, ow]);
+        // every output element is written by the argmax scan below
+        let mut out = scratch.take_tensor(&[batch, self.channels, oh, ow]);
         self.cached_argmax.clear();
         self.cached_argmax.resize(batch * self.out_elems(), 0);
         self.cached_batch = batch;
 
         let src = input.as_slice();
         let dst = out.as_mut_slice();
+        if self.k == 2 {
+            // 2x2 fast path (every paper model): walk two input rows in
+            // lock-step with explicit first-strict-max comparisons in the
+            // same dy,dx scan order as the generic loop below
+            for plane in 0..batch * self.channels {
+                let plane_off = plane * self.in_h * self.in_w;
+                let out_off = plane * oh * ow;
+                for oy in 0..oh {
+                    let r0 = plane_off + (2 * oy) * self.in_w;
+                    let r1 = r0 + self.in_w;
+                    let o = out_off + oy * ow;
+                    for ox in 0..ow {
+                        let (i0, i1, i2, i3) =
+                            (r0 + 2 * ox, r0 + 2 * ox + 1, r1 + 2 * ox, r1 + 2 * ox + 1);
+                        let (mut best, mut best_idx) = (src[i0], i0);
+                        if src[i1] > best {
+                            best = src[i1];
+                            best_idx = i1;
+                        }
+                        if src[i2] > best {
+                            best = src[i2];
+                            best_idx = i2;
+                        }
+                        if src[i3] > best {
+                            best = src[i3];
+                            best_idx = i3;
+                        }
+                        dst[o + ox] = best;
+                        self.cached_argmax[o + ox] = best_idx;
+                    }
+                }
+            }
+            scratch.give_tensor(input);
+            return out;
+        }
         for bi in 0..batch {
             for c in 0..self.channels {
                 let plane_off = (bi * self.channels + c) * self.in_h * self.in_w;
@@ -99,21 +136,24 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+        scratch.give_tensor(input);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: Tensor, scratch: &mut Scratch) -> Tensor {
         assert!(
             self.cached_batch > 0,
             "MaxPool2d::backward called before forward"
         );
         let batch = self.cached_batch;
         debug_assert_eq!(grad_out.len(), batch * self.out_elems());
-        let mut grad_in = Tensor::zeros(&[batch, self.channels, self.in_h, self.in_w]);
+        // scatter-accumulate target: must start zeroed
+        let mut grad_in = scratch.take_tensor_zeroed(&[batch, self.channels, self.in_h, self.in_w]);
         let gi = grad_in.as_mut_slice();
         for (go, &src_idx) in grad_out.as_slice().iter().zip(&self.cached_argmax) {
             gi[src_idx] += go;
         }
+        scratch.give_tensor(grad_out);
         grad_in
     }
 
@@ -152,7 +192,7 @@ mod tests {
             &[1, 1, 4, 4],
         )
         .unwrap();
-        let y = p.forward(&x);
+        let y = p.forward(x, &mut Scratch::new());
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         assert_eq!(y.as_slice(), &[4.0, 8.0, -1.0, 0.75]);
     }
@@ -160,10 +200,11 @@ mod tests {
     #[test]
     fn backward_routes_gradient_to_argmax() {
         let mut p = MaxPool2d::new(1, 2, 2, 2);
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
-        p.forward(&x);
+        p.forward(x, &mut s);
         let g = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]).unwrap();
-        let gi = p.backward(&g);
+        let gi = p.backward(g, &mut s);
         assert_eq!(gi.as_slice(), &[0.0, 2.5, 0.0, 0.0]);
     }
 
@@ -182,7 +223,7 @@ mod tests {
             &[2, 2, 2, 2],
         )
         .unwrap();
-        let y = p.forward(&x);
+        let y = p.forward(x, &mut Scratch::new());
         assert_eq!(y.as_slice(), &[4.0, -1.0, 10.0, 20.0]);
     }
 

@@ -1,6 +1,7 @@
 //! Parameter-free layers: ReLU and Flatten.
 
 use super::Layer;
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
 /// Rectified linear unit, `y = max(0, x)`.
@@ -22,32 +23,29 @@ impl Layer for Relu {
         "relu"
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.mask.clear();
-        self.mask.reserve(input.len());
-        let mut out = input.clone();
-        for v in out.as_mut_slice() {
-            if *v > 0.0 {
-                self.mask.push(1.0);
-            } else {
-                self.mask.push(0.0);
-                *v = 0.0;
-            }
+    fn forward(&mut self, mut input: Tensor, _scratch: &mut Scratch) -> Tensor {
+        // branchless compare + select keeps the loop vectorizable (the
+        // push-per-element form cost more than the surrounding GEMMs on
+        // wide activations); `max(0.0)` maps negatives, -0.0 and NaN to
+        // +0.0 exactly like the branchy original
+        self.mask.resize(input.len(), 0.0);
+        for (v, m) in input.as_mut_slice().iter_mut().zip(self.mask.iter_mut()) {
+            *m = if *v > 0.0 { 1.0 } else { 0.0 };
+            *v = v.max(0.0);
         }
-        out
+        input
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, mut grad_out: Tensor, _scratch: &mut Scratch) -> Tensor {
         assert_eq!(
             grad_out.len(),
             self.mask.len(),
             "Relu::backward shape drift (forward not called?)"
         );
-        let mut g = grad_out.clone();
-        for (gv, &m) in g.as_mut_slice().iter_mut().zip(&self.mask) {
+        for (gv, &m) in grad_out.as_mut_slice().iter_mut().zip(&self.mask) {
             *gv *= m;
         }
-        g
+        grad_out
     }
 
     fn flops_forward(&self) -> u64 {
@@ -89,19 +87,22 @@ impl Layer for Flatten {
         "flatten"
     }
 
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.cached_shape = input.shape().to_vec();
+    fn forward(&mut self, mut input: Tensor, _scratch: &mut Scratch) -> Tensor {
+        self.cached_shape.clear();
+        self.cached_shape.extend_from_slice(input.shape());
         let batch = input.shape()[0];
         let rest = input.len() / batch;
         input
-            .reshape(&[batch, rest])
-            .expect("flatten reshape cannot fail")
+            .reshape_in_place(&[batch, rest])
+            .expect("flatten reshape cannot fail");
+        input
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, mut grad_out: Tensor, _scratch: &mut Scratch) -> Tensor {
         grad_out
-            .reshape(&self.cached_shape)
-            .expect("Flatten::backward called before forward")
+            .reshape_in_place(&self.cached_shape)
+            .expect("Flatten::backward called before forward");
+        grad_out
     }
 
     fn flops_forward(&self) -> u64 {
@@ -128,18 +129,20 @@ mod tests {
     #[test]
     fn relu_clamps_negatives() {
         let mut r = Relu::new();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]).unwrap();
-        let y = r.forward(&x);
+        let y = r.forward(x, &mut s);
         assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
     }
 
     #[test]
     fn relu_gradient_masks() {
         let mut r = Relu::new();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(vec![-1.0, 3.0], &[2]).unwrap();
-        r.forward(&x);
+        r.forward(x, &mut s);
         let g = Tensor::from_vec(vec![5.0, 5.0], &[2]).unwrap();
-        let gi = r.backward(&g);
+        let gi = r.backward(g, &mut s);
         assert_eq!(gi.as_slice(), &[0.0, 5.0]);
     }
 
@@ -147,19 +150,21 @@ mod tests {
     fn relu_zero_input_has_zero_gradient() {
         // subgradient convention: relu'(0) = 0
         let mut r = Relu::new();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec(vec![0.0], &[1]).unwrap();
-        r.forward(&x);
-        let gi = r.backward(&Tensor::from_vec(vec![1.0], &[1]).unwrap());
+        r.forward(x, &mut s);
+        let gi = r.backward(Tensor::from_vec(vec![1.0], &[1]).unwrap(), &mut s);
         assert_eq!(gi.as_slice(), &[0.0]);
     }
 
     #[test]
     fn flatten_round_trip() {
         let mut f = Flatten::new();
+        let mut s = Scratch::new();
         let x = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 2, 2]).unwrap();
-        let y = f.forward(&x);
+        let y = f.forward(x.clone(), &mut s);
         assert_eq!(y.shape(), &[2, 12]);
-        let back = f.backward(&y);
+        let back = f.backward(y, &mut s);
         assert_eq!(back.shape(), &[2, 3, 2, 2]);
         assert_eq!(back.as_slice(), x.as_slice());
     }

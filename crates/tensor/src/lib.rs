@@ -7,7 +7,8 @@
 //!
 //! * [`Tensor`] — a dense, row-major `f32` n-d array with the elementwise and
 //!   reduction operations used by layers and federated algorithms.
-//! * [`linalg`] — a blocked, rayon-parallel SGEMM plus transpose helpers.
+//! * [`linalg`] — a packed, register-tiled SGEMM (BLIS-style cache blocking
+//!   with a runtime-dispatched AVX2 micro-kernel) plus a tiled transpose.
 //! * [`layers`] — forward/backward layers (dense, conv2d, max-pool, ReLU,
 //!   flatten, softmax-cross-entropy) with analytic FLOP accounting.
 //! * [`net`] — [`net::Sequential`], a feed-forward network whose parameters
@@ -36,11 +37,13 @@ pub mod linalg;
 pub mod net;
 pub mod optim;
 pub mod rng;
+pub mod scratch;
 pub mod tensor;
 pub mod vecops;
 
 pub use net::Sequential;
-pub use optim::{Optimizer, Sgd, SgdMomentum};
+pub use optim::{GradAdjust, Optimizer, Sgd, SgdMomentum};
+pub use scratch::Scratch;
 pub use tensor::Tensor;
 
 /// Crate-wide result alias.

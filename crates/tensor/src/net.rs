@@ -6,11 +6,19 @@
 //! three different models plus a gradient injection point at that tap).
 
 use crate::layers::{Layer, SoftmaxCrossEntropy};
+use crate::scratch::Scratch;
 use crate::tensor::Tensor;
+
+/// Visitor over `(flat offset, params, grads)` parameter blocks — see
+/// [`Sequential::for_each_param_grad`].
+pub type ParamGradVisitor<'a> = dyn FnMut(usize, &mut [f32], &[f32]) + 'a;
 
 /// A feed-forward network: an ordered stack of layers plus a softmax
 /// cross-entropy head.
-#[derive(Clone)]
+///
+/// The network owns a [`Scratch`] arena that all layer passes draw their
+/// working buffers from; after the first batch, forward/backward/train-step
+/// sweeps run without heap allocation.
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
     input_shape: Vec<usize>,
@@ -19,6 +27,23 @@ pub struct Sequential {
     feature_layer: Option<usize>,
     /// Cached per-layer input element counts (per sample), for FLOPs.
     layer_input_elems: Vec<usize>,
+    /// Reusable buffer arena for the hot loop.
+    scratch: Scratch,
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        // the clone gets a fresh, empty arena: scratch buffers are cheap to
+        // re-grow and must never be shared across rayon workers
+        Sequential {
+            layers: self.layers.clone(),
+            input_shape: self.input_shape.clone(),
+            loss: self.loss.clone(),
+            feature_layer: self.feature_layer,
+            layer_input_elems: self.layer_input_elems.clone(),
+            scratch: Scratch::new(),
+        }
+    }
 }
 
 impl std::fmt::Debug for Sequential {
@@ -44,6 +69,7 @@ impl Sequential {
             loss: SoftmaxCrossEntropy::new(),
             feature_layer: None,
             layer_input_elems: Vec::new(),
+            scratch: Scratch::new(),
         }
     }
 
@@ -106,9 +132,12 @@ impl Sequential {
 
     /// Run a forward pass, returning logits `[batch, classes]`.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut a = x.clone();
-        for l in &mut self.layers {
-            a = l.forward(&a);
+        let Sequential {
+            layers, scratch, ..
+        } = self;
+        let mut a = scratch.take_copy(x);
+        for l in layers.iter_mut() {
+            a = l.forward(a, scratch);
         }
         a
     }
@@ -121,10 +150,13 @@ impl Sequential {
         let fi = self
             .feature_layer
             .expect("forward_with_features: no feature layer marked");
-        let mut a = x.clone();
+        let Sequential {
+            layers, scratch, ..
+        } = self;
+        let mut a = scratch.take_copy(x);
         let mut features = None;
-        for (i, l) in self.layers.iter_mut().enumerate() {
-            a = l.forward(&a);
+        for (i, l) in layers.iter_mut().enumerate() {
+            a = l.forward(a, scratch);
             if i == fi {
                 features = Some(a.clone());
             }
@@ -135,9 +167,12 @@ impl Sequential {
     /// Backward pass from a logits gradient; accumulates parameter grads and
     /// returns the input gradient.
     pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
-        let mut g = grad_logits.clone();
-        for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+        let Sequential {
+            layers, scratch, ..
+        } = self;
+        let mut g = scratch.take_copy(grad_logits);
+        for l in layers.iter_mut().rev() {
+            g = l.backward(g, scratch);
         }
         g
     }
@@ -155,13 +190,16 @@ impl Sequential {
         let fi = self
             .feature_layer
             .expect("backward_with_feature_grad: no feature layer marked");
-        let mut g = grad_logits.clone();
-        for (i, l) in self.layers.iter_mut().enumerate().rev() {
+        let Sequential {
+            layers, scratch, ..
+        } = self;
+        let mut g = scratch.take_copy(grad_logits);
+        for (i, l) in layers.iter_mut().enumerate().rev() {
             if i == fi {
                 g.add_assign(feature_grad)
                     .expect("feature gradient shape mismatch");
             }
-            g = l.backward(&g);
+            g = l.backward(g, scratch);
         }
         g
     }
@@ -169,11 +207,29 @@ impl Sequential {
     /// Mean cross-entropy loss + full backward pass for a labelled batch.
     /// Returns the loss. Gradients are *accumulated*; call
     /// [`Sequential::zero_grads`] between steps.
+    ///
+    /// Every intermediate tensor — input copy, activations, logits, logits
+    /// gradient, input gradient — is recycled through the network's scratch
+    /// arena, so steady-state calls are allocation-free.
     pub fn train_step(&mut self, x: &Tensor, targets: &[usize]) -> f64 {
-        let logits = self.forward(x);
-        let (loss, grad) = self.loss.forward_backward(&logits, targets);
-        self.backward(&grad);
-        loss
+        let Sequential {
+            layers,
+            scratch,
+            loss,
+            ..
+        } = self;
+        let mut a = scratch.take_copy(x);
+        for l in layers.iter_mut() {
+            a = l.forward(a, scratch);
+        }
+        let (loss_val, grad) = loss.forward_backward_scratch(&a, targets, scratch);
+        scratch.give_tensor(a);
+        let mut g = grad;
+        for l in layers.iter_mut().rev() {
+            g = l.backward(g, scratch);
+        }
+        scratch.give_tensor(g);
+        loss_val
     }
 
     /// Loss head access.
@@ -261,6 +317,21 @@ impl Sequential {
             out.extend(l.params_and_grads());
         }
         out
+    }
+
+    /// Visit each (flat offset, params, grads) block in the same stable order
+    /// as [`Sequential::params_flat`], without allocating. The offset is the
+    /// block's position in the flat-parameter view, so callers can index
+    /// companion flat vectors (global weights, control variates, momentum).
+    pub fn for_each_param_grad(&mut self, f: &mut ParamGradVisitor<'_>) {
+        let mut off = 0usize;
+        for l in &mut self.layers {
+            l.for_each_param_grad(&mut |p, g| {
+                let len = p.len();
+                f(off, p, g);
+                off += len;
+            });
+        }
     }
 
     /// Analytic forward FLOPs per sample.

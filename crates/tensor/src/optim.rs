@@ -1,8 +1,22 @@
-//! Local optimizers.
+//! Local optimizers with fused adjusted-gradient sweeps.
 //!
 //! The paper (§V-A) trains with SGD-with-momentum (lr 0.01, momentum 0.9)
 //! for FedAvg / FedProx / MOON / FedTrip and plain SGD for SlowMo / FedDyn.
-//! Both are implemented against [`Sequential`]'s flat (param, grad) pairs.
+//!
+//! Every federated algorithm in this workspace perturbs the local gradient
+//! before the descent step — FedProx adds a proximal pull, FedTrip its
+//! triplet attraction/repulsion, FedDyn a dynamic regularizer, SCAFFOLD
+//! control variates, MimeLite a server-statistic interpolation. Those used
+//! to run as a separate flatten → hook → scatter pass over cloned parameter
+//! and gradient vectors (three full-model allocations plus three extra
+//! memory sweeps per local step). [`GradAdjust`] fuses the adjustment into
+//! the optimizer update itself: one pass over the parameter blocks, zero
+//! allocation, and the raw gradients in the network are left untouched.
+//!
+//! Numerically the fusion is exact: each adjusted gradient element is the
+//! same f32 expression, in the same order, as the old vecops hook applied
+//! to the element — followed by the same update — so fused and unfused
+//! trajectories are bit-identical.
 
 use crate::net::Sequential;
 use serde::{Deserialize, Serialize};
@@ -59,10 +73,98 @@ impl LrSchedule {
     }
 }
 
+/// An algorithm-specific gradient adjustment fused into the optimizer step.
+///
+/// Companion vectors are borrowed flat views (indexed by the same offsets
+/// as [`Sequential::params_flat`]) and must have exactly `num_params`
+/// elements. The adjusted gradient `h` replaces the raw gradient `g` inside
+/// the update only — the network's accumulated gradient buffers are never
+/// modified.
+#[derive(Debug, Clone, Copy)]
+pub enum GradAdjust<'a> {
+    /// Use the raw gradient (FedAvg / SlowMo / MOON).
+    None,
+    /// FedProx: `h = g + mu * (w - anchor)`.
+    Prox {
+        /// Proximal strength.
+        mu: f32,
+        /// Round-start global parameters.
+        anchor: &'a [f32],
+    },
+    /// FedTrip: `h = g + mu * ((w - global) + xi * (hist - w))`.
+    Triplet {
+        /// Proximal strength.
+        mu: f32,
+        /// Repulsion weight against the historical model.
+        xi: f32,
+        /// Round-start global parameters (positive anchor).
+        global: &'a [f32],
+        /// Previous-round local parameters (negative anchor).
+        hist: &'a [f32],
+    },
+    /// FedDyn: `h = g + (-lambda + alpha * (w - global))`.
+    DynReg {
+        /// Regularization strength.
+        alpha: f32,
+        /// Client's accumulated linear-penalty state.
+        lambda: &'a [f32],
+        /// Round-start global parameters.
+        global: &'a [f32],
+    },
+    /// SCAFFOLD: `h = g + (c_server - c_client)`.
+    ControlVariates {
+        /// Server control variate.
+        c_server: &'a [f32],
+        /// Client control variate.
+        c_client: &'a [f32],
+    },
+    /// MimeLite: `h = (1 - beta) * g + beta * stat`.
+    Interp {
+        /// Interpolation weight toward the server statistic.
+        beta: f32,
+        /// Server-held full-batch gradient statistic.
+        stat: &'a [f32],
+    },
+}
+
+impl GradAdjust<'_> {
+    /// Validate that every companion vector covers all `n` parameters.
+    fn check_sizes(&self, n: usize) {
+        let ck = |name: &str, s: &[f32]| {
+            assert_eq!(s.len(), n, "GradAdjust::{name}: companion size mismatch");
+        };
+        match *self {
+            GradAdjust::None => {}
+            GradAdjust::Prox { anchor, .. } => ck("Prox", anchor),
+            GradAdjust::Triplet { global, hist, .. } => {
+                ck("Triplet", global);
+                ck("Triplet", hist);
+            }
+            GradAdjust::DynReg { lambda, global, .. } => {
+                ck("DynReg", lambda);
+                ck("DynReg", global);
+            }
+            GradAdjust::ControlVariates { c_server, c_client } => {
+                ck("ControlVariates", c_server);
+                ck("ControlVariates", c_client);
+            }
+            GradAdjust::Interp { stat, .. } => ck("Interp", stat),
+        }
+    }
+}
+
 /// A first-order optimizer stepping a [`Sequential`] in place.
 pub trait Optimizer: Send {
-    /// Apply one update step using the currently accumulated gradients.
-    fn step(&mut self, net: &mut Sequential);
+    /// Apply one update step, adjusting each gradient element on the fly.
+    ///
+    /// The network's gradient buffers are read-only here; the adjustment is
+    /// applied inside the update expression.
+    fn step_adjusted(&mut self, net: &mut Sequential, adjust: &GradAdjust<'_>);
+
+    /// Apply one plain update step using the accumulated gradients.
+    fn step(&mut self, net: &mut Sequential) {
+        self.step_adjusted(net, &GradAdjust::None);
+    }
 
     /// Clear internal state (momentum buffers).
     fn reset(&mut self);
@@ -80,7 +182,40 @@ impl Clone for Box<dyn Optimizer> {
     }
 }
 
-/// Plain stochastic gradient descent: `w -= lr * g`.
+/// One fused plain-SGD sweep: `w -= lr * adj(i, w, g)`.
+///
+/// `adj` is monomorphized per adjustment variant so the inner loop carries
+/// no per-element branching on the adjustment kind.
+#[inline]
+fn sgd_sweep<F: FnMut(usize, f32, f32) -> f32>(net: &mut Sequential, lr: f32, mut adj: F) {
+    net.for_each_param_grad(&mut |off, p, g| {
+        for (i, (pv, &gv)) in p.iter_mut().zip(g.iter()).enumerate() {
+            let h = adj(off + i, *pv, gv);
+            *pv -= lr * h;
+        }
+    });
+}
+
+/// One fused momentum sweep: `v = m * v + adj(i, w, g); w -= lr * v`.
+#[inline]
+fn momentum_sweep<F: FnMut(usize, f32, f32) -> f32>(
+    net: &mut Sequential,
+    lr: f32,
+    momentum: f32,
+    velocity: &mut [f32],
+    mut adj: F,
+) {
+    net.for_each_param_grad(&mut |off, p, g| {
+        let v = &mut velocity[off..off + p.len()];
+        for (i, ((pv, &gv), vv)) in p.iter_mut().zip(g.iter()).zip(v.iter_mut()).enumerate() {
+            let h = adj(off + i, *pv, gv);
+            *vv = momentum * *vv + h;
+            *pv -= lr * *vv;
+        }
+    });
+}
+
+/// Plain stochastic gradient descent: `w -= lr * h`.
 #[derive(Debug, Clone)]
 pub struct Sgd {
     lr: f32,
@@ -95,10 +230,38 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, net: &mut Sequential) {
-        for (p, g) in net.params_and_grads() {
-            for (pv, gv) in p.iter_mut().zip(g) {
-                *pv -= self.lr * gv;
+    fn step_adjusted(&mut self, net: &mut Sequential, adjust: &GradAdjust<'_>) {
+        adjust.check_sizes(net.num_params());
+        let lr = self.lr;
+        match *adjust {
+            GradAdjust::None => sgd_sweep(net, lr, |_, _, g| g),
+            GradAdjust::Prox { mu, anchor } => {
+                sgd_sweep(net, lr, |i, w, g| g + mu * (w - anchor[i]));
+            }
+            GradAdjust::Triplet {
+                mu,
+                xi,
+                global,
+                hist,
+            } => {
+                sgd_sweep(net, lr, |i, w, g| {
+                    g + mu * ((w - global[i]) + xi * (hist[i] - w))
+                });
+            }
+            GradAdjust::DynReg {
+                alpha,
+                lambda,
+                global,
+            } => {
+                sgd_sweep(net, lr, |i, w, g| {
+                    g + (-lambda[i] + alpha * (w - global[i]))
+                });
+            }
+            GradAdjust::ControlVariates { c_server, c_client } => {
+                sgd_sweep(net, lr, |i, _, g| g + (c_server[i] - c_client[i]));
+            }
+            GradAdjust::Interp { beta, stat } => {
+                sgd_sweep(net, lr, |i, _, g| (1.0 - beta) * g + beta * stat[i]);
             }
         }
     }
@@ -115,12 +278,13 @@ impl Optimizer for Sgd {
 }
 
 /// SGD with (PyTorch-convention) momentum:
-/// `v = m * v + g; w -= lr * v`.
+/// `v = m * v + h; w -= lr * v`.
 #[derive(Debug, Clone)]
 pub struct SgdMomentum {
     lr: f32,
     momentum: f32,
-    velocity: Vec<Vec<f32>>,
+    /// Flat velocity buffer, one element per parameter (lazily sized).
+    velocity: Vec<f32>,
 }
 
 impl SgdMomentum {
@@ -137,16 +301,46 @@ impl SgdMomentum {
 }
 
 impl Optimizer for SgdMomentum {
-    fn step(&mut self, net: &mut Sequential) {
-        let pairs = net.params_and_grads();
-        if self.velocity.len() != pairs.len() {
-            self.velocity = pairs.iter().map(|(p, _)| vec![0.0; p.len()]).collect();
+    fn step_adjusted(&mut self, net: &mut Sequential, adjust: &GradAdjust<'_>) {
+        let n = net.num_params();
+        adjust.check_sizes(n);
+        if self.velocity.len() != n {
+            // `clear + resize` keeps the allocation across `reset()` cycles
+            self.velocity.clear();
+            self.velocity.resize(n, 0.0);
         }
-        for ((p, g), v) in pairs.into_iter().zip(&mut self.velocity) {
-            debug_assert_eq!(p.len(), v.len(), "velocity buffer drift");
-            for ((pv, gv), vv) in p.iter_mut().zip(g).zip(v.iter_mut()) {
-                *vv = self.momentum * *vv + gv;
-                *pv -= self.lr * *vv;
+        let lr = self.lr;
+        let m = self.momentum;
+        let vel = self.velocity.as_mut_slice();
+        match *adjust {
+            GradAdjust::None => momentum_sweep(net, lr, m, vel, |_, _, g| g),
+            GradAdjust::Prox { mu, anchor } => {
+                momentum_sweep(net, lr, m, vel, |i, w, g| g + mu * (w - anchor[i]));
+            }
+            GradAdjust::Triplet {
+                mu,
+                xi,
+                global,
+                hist,
+            } => {
+                momentum_sweep(net, lr, m, vel, |i, w, g| {
+                    g + mu * ((w - global[i]) + xi * (hist[i] - w))
+                });
+            }
+            GradAdjust::DynReg {
+                alpha,
+                lambda,
+                global,
+            } => {
+                momentum_sweep(net, lr, m, vel, |i, w, g| {
+                    g + (-lambda[i] + alpha * (w - global[i]))
+                });
+            }
+            GradAdjust::ControlVariates { c_server, c_client } => {
+                momentum_sweep(net, lr, m, vel, |i, _, g| g + (c_server[i] - c_client[i]));
+            }
+            GradAdjust::Interp { beta, stat } => {
+                momentum_sweep(net, lr, m, vel, |i, _, g| (1.0 - beta) * g + beta * stat[i]);
             }
         }
     }
@@ -169,6 +363,7 @@ mod tests {
     use super::*;
     use crate::layers::Dense;
     use crate::rng::Prng;
+    use crate::vecops;
 
     fn one_layer_net(rng: &mut Prng) -> Sequential {
         Sequential::new(&[2]).with(Dense::new(2, 2, rng))
@@ -239,6 +434,189 @@ mod tests {
         Sgd::new(0.05).step(&mut net_a);
         SgdMomentum::new(0.05, 0.0).step(&mut net_b);
         assert_eq!(net_a.params_flat(), net_b.params_flat());
+    }
+
+    /// Reference for the fused sweeps: apply `hook` to a flat gradient
+    /// clone (the pre-fusion data path), scatter it back, plain-step, and
+    /// restore the original grads.
+    fn hook_then_step(
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        hook: impl Fn(&mut Vec<f32>, &[f32]),
+    ) {
+        let params = net.params_flat();
+        let mut grads = net.grads_flat();
+        let saved = grads.clone();
+        hook(&mut grads, &params);
+        net.set_grads_flat(&grads);
+        opt.step(net);
+        net.set_grads_flat(&saved);
+    }
+
+    /// Shared fixture: a net with pseudo-random params/grads plus companion
+    /// vectors, returned as (net, grads, companion-a, companion-b).
+    fn fused_fixture(seed: u64) -> (Sequential, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let net = Sequential::new(&[3])
+            .with(Dense::new(3, 4, &mut rng))
+            .with(Dense::new(4, 2, &mut rng));
+        let n = net.num_params();
+        let g: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let a: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        (net, g, a, b)
+    }
+
+    #[test]
+    fn fused_prox_matches_hook_then_step_bitwise() {
+        for (mk_opt, seed) in [
+            (
+                (|| Box::new(Sgd::new(0.05)) as Box<dyn Optimizer>) as fn() -> Box<dyn Optimizer>,
+                7u64,
+            ),
+            (|| Box::new(SgdMomentum::new(0.05, 0.9)), 8),
+        ] {
+            let (mut net, g, anchor, _) = fused_fixture(seed);
+            let mut reference = net.clone();
+            net.set_grads_flat(&g);
+            reference.set_grads_flat(&g);
+            let mu = 0.25f32;
+
+            let mut opt_f = mk_opt();
+            opt_f.step_adjusted(
+                &mut net,
+                &GradAdjust::Prox {
+                    mu,
+                    anchor: &anchor,
+                },
+            );
+
+            let mut opt_r = mk_opt();
+            hook_then_step(&mut reference, opt_r.as_mut(), |gr, w| {
+                vecops::prox_adjust(gr, mu, w, &anchor);
+            });
+
+            assert_eq!(net.params_flat(), reference.params_flat());
+            // fused path must leave the raw gradients untouched
+            assert_eq!(net.grads_flat(), g);
+        }
+    }
+
+    #[test]
+    fn fused_triplet_matches_hook_then_step_bitwise() {
+        let (mut net, g, global, hist) = fused_fixture(9);
+        let mut reference = net.clone();
+        net.set_grads_flat(&g);
+        reference.set_grads_flat(&g);
+        let (mu, xi) = (0.5f32, 0.125f32);
+
+        let mut opt_f = SgdMomentum::new(0.01, 0.9);
+        opt_f.step_adjusted(
+            &mut net,
+            &GradAdjust::Triplet {
+                mu,
+                xi,
+                global: &global,
+                hist: &hist,
+            },
+        );
+
+        let mut opt_r = SgdMomentum::new(0.01, 0.9);
+        hook_then_step(&mut reference, &mut opt_r, |gr, w| {
+            vecops::triplet_adjust(gr, mu, xi, w, &global, &hist);
+        });
+
+        assert_eq!(net.params_flat(), reference.params_flat());
+    }
+
+    #[test]
+    fn fused_dyn_reg_matches_hook_then_step_bitwise() {
+        let (mut net, g, lambda, global) = fused_fixture(10);
+        let mut reference = net.clone();
+        net.set_grads_flat(&g);
+        reference.set_grads_flat(&g);
+        let alpha = 0.1f32;
+
+        let mut opt_f = Sgd::new(0.05);
+        opt_f.step_adjusted(
+            &mut net,
+            &GradAdjust::DynReg {
+                alpha,
+                lambda: &lambda,
+                global: &global,
+            },
+        );
+
+        let mut opt_r = Sgd::new(0.05);
+        hook_then_step(&mut reference, &mut opt_r, |gr, w| {
+            for (i, gv) in gr.iter_mut().enumerate() {
+                *gv += -lambda[i] + alpha * (w[i] - global[i]);
+            }
+        });
+
+        assert_eq!(net.params_flat(), reference.params_flat());
+    }
+
+    #[test]
+    fn fused_control_variates_matches_hook_then_step_bitwise() {
+        let (mut net, g, c_server, c_client) = fused_fixture(11);
+        let mut reference = net.clone();
+        net.set_grads_flat(&g);
+        reference.set_grads_flat(&g);
+
+        let mut opt_f = Sgd::new(0.02);
+        opt_f.step_adjusted(
+            &mut net,
+            &GradAdjust::ControlVariates {
+                c_server: &c_server,
+                c_client: &c_client,
+            },
+        );
+
+        let mut opt_r = Sgd::new(0.02);
+        hook_then_step(&mut reference, &mut opt_r, |gr, _| {
+            for (i, gv) in gr.iter_mut().enumerate() {
+                *gv += c_server[i] - c_client[i];
+            }
+        });
+
+        assert_eq!(net.params_flat(), reference.params_flat());
+    }
+
+    #[test]
+    fn fused_interp_matches_hook_then_step_bitwise() {
+        let (mut net, g, stat, _) = fused_fixture(12);
+        let mut reference = net.clone();
+        net.set_grads_flat(&g);
+        reference.set_grads_flat(&g);
+        let beta = 0.3f32;
+
+        let mut opt_f = SgdMomentum::new(0.01, 0.9);
+        opt_f.step_adjusted(&mut net, &GradAdjust::Interp { beta, stat: &stat });
+
+        let mut opt_r = SgdMomentum::new(0.01, 0.9);
+        hook_then_step(&mut reference, &mut opt_r, |gr, _| {
+            for (i, gv) in gr.iter_mut().enumerate() {
+                *gv = (1.0 - beta) * *gv + beta * stat[i];
+            }
+        });
+
+        assert_eq!(net.params_flat(), reference.params_flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "companion size mismatch")]
+    fn rejects_short_companion_vector() {
+        let mut rng = Prng::seed_from_u64(13);
+        let mut net = one_layer_net(&mut rng);
+        let short = vec![0.0f32; net.num_params() - 1];
+        Sgd::new(0.1).step_adjusted(
+            &mut net,
+            &GradAdjust::Prox {
+                mu: 0.1,
+                anchor: &short,
+            },
+        );
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Reusable scratch arena for the training hot loop.
+//!
+//! Every forward/backward pass through a network needs short-lived buffers:
+//! layer activations, im2col column matrices, gradient staging. Allocating
+//! them per call dominated the local-step profile, so [`Scratch`] keeps two
+//! free-lists — one of raw `Vec<f32>` buffers, one of whole [`Tensor`]s —
+//! that are grown on first use and recycled forever after. A client's entire
+//! local round (and, via the executor, *all* clients handled by one worker)
+//! runs allocation-free once the pools are warm.
+//!
+//! ## Ownership rules
+//!
+//! * The arena lives inside [`crate::net::Sequential`]; layers receive
+//!   `&mut Scratch` on each call and must return ("give") every buffer they
+//!   consume that does not escape as the call's result.
+//! * `take*` hands out **stale contents** — only consumers that overwrite
+//!   every element they later read may use [`Scratch::take`] /
+//!   [`Scratch::take_tensor`]. Scatter-accumulate consumers (`col2im_accum`,
+//!   max-pool gradient routing) must use the `_zeroed` variants.
+//! * Cloning a network must *not* share arenas across threads:
+//!   `Sequential`'s manual `Clone` starts the copy with an empty arena.
+
+use crate::tensor::Tensor;
+
+/// A pool of reusable `f32` buffers and tensors.
+///
+/// Buffers are matched best-fit by capacity so a steady-state workload with a
+/// fixed set of shapes settles into a fixed set of buffers and never touches
+/// the allocator again.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    bufs: Vec<Vec<f32>>,
+    tensors: Vec<Tensor>,
+}
+
+/// Pick the pool entry whose capacity fits `len` best: the smallest capacity
+/// that is ≥ `len`, or — when none is large enough — the largest available
+/// (growing the biggest buffer wastes the least total memory).
+fn best_fit(caps: impl Iterator<Item = usize>, len: usize) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None; // (index, capacity)
+    for (i, cap) in caps.enumerate() {
+        let better = match best {
+            None => true,
+            Some((_, bc)) => {
+                if bc >= len {
+                    cap >= len && cap < bc
+                } else {
+                    cap > bc
+                }
+            }
+        };
+        if better {
+            best = Some((i, cap));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+impl Scratch {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Take a buffer of exactly `len` elements with **unspecified contents**
+    /// (stale data from a previous use). Only use when every element read
+    /// later is overwritten first.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        match best_fit(self.bufs.iter().map(Vec::capacity), len) {
+            Some(i) => {
+                let mut v = self.bufs.swap_remove(i);
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Take a buffer of `len` elements, all zero.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.take(len);
+        v.fill(0.0);
+        v
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn give(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.bufs.push(v);
+        }
+    }
+
+    /// Take a tensor of `shape` with **unspecified contents** (see
+    /// [`Scratch::take`] for the overwrite contract).
+    pub fn take_tensor(&mut self, shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        match best_fit(self.tensors.iter().map(|t| t.as_slice().len()), len) {
+            Some(i) => {
+                let mut t = self.tensors.swap_remove(i);
+                t.reuse(shape);
+                t
+            }
+            None => Tensor::zeros(shape),
+        }
+    }
+
+    /// Take a tensor of `shape`, all zero.
+    pub fn take_tensor_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        let mut t = self.take_tensor(shape);
+        t.as_mut_slice().fill(0.0);
+        t
+    }
+
+    /// Take a tensor that is an element-wise copy of `src` (same shape).
+    pub fn take_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.take_tensor(src.shape());
+        t.as_mut_slice().copy_from_slice(src.as_slice());
+        t
+    }
+
+    /// Return a tensor to the pool for reuse.
+    pub fn give_tensor(&mut self, t: Tensor) {
+        if !t.is_empty() {
+            self.tensors.push(t);
+        }
+    }
+
+    /// Number of pooled entries (buffers + tensors); exposed for tests that
+    /// assert steady-state pool sizes.
+    pub fn pooled(&self) -> usize {
+        self.bufs.len() + self.tensors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_recycles_the_same_allocation() {
+        let mut s = Scratch::new();
+        let mut v = s.take(100);
+        v[0] = 7.0;
+        let ptr = v.as_ptr();
+        s.give(v);
+        let v2 = s.take(80); // smaller fits in the same buffer
+        assert_eq!(v2.as_ptr(), ptr);
+        assert_eq!(v2.len(), 80);
+        s.give(v2);
+        let v3 = s.take(100);
+        assert_eq!(v3.as_ptr(), ptr);
+    }
+
+    #[test]
+    fn take_zeroed_clears_stale_contents() {
+        let mut s = Scratch::new();
+        let mut v = s.take(16);
+        v.fill(3.5);
+        s.give(v);
+        let v2 = s.take_zeroed(16);
+        assert!(v2.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut s = Scratch::new();
+        s.give(vec![0.0; 1000]);
+        s.give(vec![0.0; 10]);
+        s.give(vec![0.0; 100]);
+        let v = s.take(50);
+        assert!(v.capacity() >= 50 && v.capacity() < 1000);
+        assert_eq!(s.pooled(), 2);
+    }
+
+    #[test]
+    fn best_fit_grows_largest_when_none_suffices() {
+        let mut s = Scratch::new();
+        s.give(vec![0.0; 10]);
+        s.give(vec![0.0; 100]);
+        let v = s.take(200);
+        assert_eq!(v.len(), 200);
+        // the 100-capacity buffer was grown; the 10-capacity one remains
+        assert_eq!(s.pooled(), 1);
+        assert!(s.bufs[0].capacity() <= 10 + 10); // small one untouched
+    }
+
+    #[test]
+    fn tensor_round_trip_reuses_storage_and_reshapes() {
+        let mut s = Scratch::new();
+        let t = s.take_tensor(&[4, 8]);
+        assert_eq!(t.shape(), &[4, 8]);
+        let ptr = t.as_slice().as_ptr();
+        s.give_tensor(t);
+        let t2 = s.take_tensor(&[2, 3, 4]);
+        assert_eq!(t2.shape(), &[2, 3, 4]);
+        assert_eq!(t2.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    fn take_copy_matches_source() {
+        let mut s = Scratch::new();
+        let src = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]).unwrap();
+        let t = s.take_copy(&src);
+        assert_eq!(t.shape(), src.shape());
+        assert_eq!(t.as_slice(), src.as_slice());
+    }
+
+    #[test]
+    fn take_tensor_zeroed_clears_stale_contents() {
+        let mut s = Scratch::new();
+        let mut t = s.take_tensor(&[3, 3]);
+        t.as_mut_slice().fill(9.0);
+        s.give_tensor(t);
+        let t2 = s.take_tensor_zeroed(&[3, 3]);
+        assert!(t2.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

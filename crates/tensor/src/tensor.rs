@@ -153,8 +153,26 @@ impl Tensor {
                 rhs: shape.to_vec(),
             });
         }
-        self.shape = shape.to_vec();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
         Ok(())
+    }
+
+    /// Re-purpose this tensor's storage for a new shape, reusing the existing
+    /// buffer and shape capacity (no allocation once capacity suffices —
+    /// this is the primitive [`crate::scratch::Scratch`] is built on).
+    ///
+    /// Contents after the call are **unspecified**: elements retained from the
+    /// previous use are stale and the caller must overwrite every element it
+    /// reads.
+    ///
+    /// # Panics
+    /// Panics if `shape` contains a zero dimension.
+    pub fn reuse(&mut self, shape: &[usize]) {
+        let n = checked_len(shape).expect("Tensor::reuse: invalid shape");
+        self.data.resize(n, 0.0);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
     }
 
     /// Element at a multi-dimensional index. Debug-asserts bounds.

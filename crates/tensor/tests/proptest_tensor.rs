@@ -4,9 +4,9 @@
 
 use fedtrip_tensor::conv::{col2im_accum, im2col, ConvGeom};
 use fedtrip_tensor::layers::{Dense, Relu};
-use fedtrip_tensor::linalg::{matmul, sgemm, transpose};
+use fedtrip_tensor::linalg::{matmul, sgemm, sgemm_a_bt, sgemm_at_b, sgemm_at_b_accum, transpose};
 use fedtrip_tensor::rng::Prng;
-use fedtrip_tensor::{Sequential, Tensor};
+use fedtrip_tensor::{Scratch, Sequential, Tensor};
 use proptest::prelude::*;
 
 proptest! {
@@ -138,11 +138,115 @@ proptest! {
     fn relu_idempotent(xs in prop::collection::vec(-10.0f32..10.0, 1..64)) {
         let n = xs.len();
         let mut r = Relu::new();
+        let mut s = Scratch::new();
         use fedtrip_tensor::layers::Layer;
         let x = Tensor::from_vec(xs, &[n]).unwrap();
-        let once = r.forward(&x);
+        let once = r.forward(x, &mut s);
         prop_assert!(once.as_slice().iter().all(|&v| v >= 0.0));
-        let twice = r.forward(&once);
+        let twice = r.forward(once.clone(), &mut s);
         prop_assert_eq!(once.as_slice(), twice.as_slice());
+    }
+
+    /// `sgemm_at_b_accum` (C += A^T B) against the naive reference across
+    /// awkward shapes, including the m=1 / n=1 / k=1 degenerate edges and
+    /// sizes straddling the register-tile boundaries.
+    #[test]
+    fn at_b_accum_matches_reference(
+        k in 1usize..40,
+        m in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let init: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect();
+        let mut c = init.clone();
+        sgemm_at_b_accum(k, m, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = init[i * n + j];
+                for p in 0..k {
+                    acc += a[p * m + i] * b[p * n + j];
+                }
+                prop_assert!((c[i * n + j] - acc).abs() < 1e-2 * (1.0 + acc.abs()));
+            }
+        }
+    }
+
+    /// `sgemm_at_b` (overwrite) equals accumulate-from-zero regardless of
+    /// what stale garbage is in C beforehand.
+    #[test]
+    fn at_b_overwrite_ignores_stale_c(
+        k in 1usize..24,
+        m in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..k * m).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+        let mut dirty: Vec<f32> = (0..m * n).map(|_| rng.normal() * 1e3).collect();
+        sgemm_at_b(k, m, n, &a, &b, &mut dirty);
+        let mut clean = vec![0.0f32; m * n];
+        sgemm_at_b_accum(k, m, n, &a, &b, &mut clean);
+        prop_assert_eq!(dirty, clean);
+    }
+
+    /// `sgemm_a_bt` (C = A B^T) against the naive reference across awkward
+    /// shapes.
+    #[test]
+    fn a_bt_matches_reference(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..100,
+    ) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n * k).map(|_| rng.normal()).collect();
+        let mut c: Vec<f32> = (0..m * n).map(|_| rng.normal()).collect(); // stale
+        sgemm_a_bt(m, k, n, &a, &b, &mut c);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[j * k + p];
+                }
+                prop_assert!((c[i * n + j] - acc).abs() < 1e-2 * (1.0 + acc.abs()));
+            }
+        }
+    }
+
+    /// A network whose scratch arena was warmed on one batch produces the
+    /// same results on the next batch as a completely fresh clone: no stale
+    /// state leaks between successive batches or clients.
+    #[test]
+    fn warm_scratch_matches_fresh_net(seed in 0u64..100) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let template = Sequential::new(&[6])
+            .with(Dense::new(6, 5, &mut rng))
+            .with(Relu::new())
+            .with(Dense::new(5, 3, &mut rng));
+
+        // "client A" warms the arena with a differently-sized batch
+        let mut warm = template.clone();
+        let xa = Tensor::randn(&[7, 6], 1.0, &mut rng);
+        let ta: Vec<usize> = (0..7).map(|i| i % 3).collect();
+        warm.zero_grads();
+        warm.train_step(&xa, &ta);
+        warm.set_params_flat(&template.params_flat()); // reset params, keep arena
+
+        // "client B" on a fresh clone
+        let mut fresh = template.clone();
+        let xb = Tensor::randn(&[4, 6], 1.0, &mut rng);
+        let tb = [0usize, 1, 2, 1];
+
+        warm.zero_grads();
+        fresh.zero_grads();
+        let lw = warm.train_step(&xb, &tb);
+        let lf = fresh.train_step(&xb, &tb);
+        prop_assert_eq!(lw, lf);
+        prop_assert_eq!(warm.grads_flat(), fresh.grads_flat());
     }
 }

@@ -18,7 +18,7 @@ use fedtrip_core::algorithms::{
 };
 use fedtrip_core::costs::{AttachCost, CostModel};
 use fedtrip_core::engine::Simulation;
-use fedtrip_tensor::vecops;
+use fedtrip_tensor::GradAdjust;
 
 /// FedTrip with round-decaying regularization strength:
 /// `mu_t = mu0 * decay^t`.
@@ -42,14 +42,19 @@ impl Algorithm for FedTripDecay {
         let mu = self.mu0 * self.decay.powi(ctx.round as i32 - 1);
         let xi = ctx.gap.map(|g| g as f32).unwrap_or(0.0);
         let global = ctx.global;
-        let historical = state.historical.clone();
-        let mut hook = |g: &mut Vec<f32>, w: &[f32]| match &historical {
-            Some(hist) => vecops::triplet_adjust(g, mu, xi, w, global, hist),
-            None => vecops::prox_adjust(g, mu, w, global),
+        // the adjustment is fused into the optimizer step — no flatten /
+        // scatter round-trip, and the historical model is only borrowed
+        let adjust = match state.historical.as_deref() {
+            Some(hist) => GradAdjust::Triplet {
+                mu,
+                xi,
+                global,
+                hist,
+            },
+            None => GradAdjust::Prox { mu, anchor: global },
         };
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
-        let (iterations, samples, mean_loss) =
-            run_local_sgd(net, data, ctx, opt.as_mut(), Some(&mut hook));
+        let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
         let params = net.params_flat();
         state.historical = Some(params.clone());
         state.last_round = Some(ctx.round);

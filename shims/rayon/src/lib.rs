@@ -30,6 +30,12 @@ fn max_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Number of threads a top-level parallel region fans out to (the shim's
+/// analogue of rayon's global-pool size): one per available core.
+pub fn current_num_threads() -> usize {
+    max_threads()
+}
+
 thread_local! {
     /// True on threads already executing inside a parallel region.
     static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
@@ -112,6 +118,17 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
         F: Fn(&mut [T]) + Sync,
     {
         run_ordered(self.into_items(), f);
+    }
+
+    pub fn map<R, F>(self, f: F) -> ParMap<&'a mut [T], F>
+    where
+        R: Send,
+        F: Fn(&mut [T]) -> R + Sync,
+    {
+        ParMap {
+            items: self.into_items(),
+            f,
+        }
     }
 }
 
