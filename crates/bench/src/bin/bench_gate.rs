@@ -228,7 +228,20 @@ fn fail(failures: &mut Vec<String>, msg: String) {
     failures.push(msg);
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
+    match run() {
+        Ok(true) => std::process::ExitCode::SUCCESS,
+        Ok(false) => std::process::ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+/// Full gate pass; `Ok(false)` means measured regressions, `Err` an I/O or
+/// serialization problem (missing directory, unreadable baseline, …).
+fn run() -> Result<bool, String> {
     let write_baseline = std::env::args().any(|a| a == "--write-baseline");
     let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
         .ok()
@@ -328,10 +341,9 @@ fn main() {
             );
         }
     }
-    let (first, last) = (
-        report.population.first().expect("nonempty sweep"),
-        report.population.last().expect("nonempty sweep"),
-    );
+    let (Some(first), Some(last)) = (report.population.first(), report.population.last()) else {
+        return Err("population sweep produced no points".into());
+    };
     let ratio = last.min_round_ns as f64 / first.min_round_ns.max(1) as f64;
     println!(
         "bench_gate: round-time ratio N={} / N={} = {ratio:.2}x",
@@ -351,17 +363,18 @@ fn main() {
     let baseline_path = Path::new(BASELINE);
     if write_baseline {
         if let Some(dir) = baseline_path.parent() {
-            fs::create_dir_all(dir).expect("create baseline dir");
+            fs::create_dir_all(dir)
+                .map_err(|e| format!("creating baseline dir {}: {e}", dir.display()))?;
         }
-        fs::write(
-            baseline_path,
-            serde_json::to_string_pretty(&report).expect("serialize baseline"),
-        )
-        .expect("write baseline");
+        let body = serde_json::to_string_pretty(&report)
+            .map_err(|e| format!("serializing baseline: {e}"))?;
+        fs::write(baseline_path, body).map_err(|e| format!("writing baseline {BASELINE}: {e}"))?;
         println!("bench_gate: baseline refreshed at {BASELINE}");
     } else if baseline_path.exists() {
-        let body = fs::read_to_string(baseline_path).expect("read baseline");
-        let baseline: BenchReport = serde_json::from_str(&body).expect("parse baseline");
+        let body = fs::read_to_string(baseline_path)
+            .map_err(|e| format!("reading baseline {BASELINE}: {e}"))?;
+        let baseline: BenchReport =
+            serde_json::from_str(&body).map_err(|e| format!("parsing baseline {BASELINE}: {e}"))?;
         for (name, &base_ns) in &baseline.metrics {
             let Some(&now_ns) = report.metrics.get(name) else {
                 fail(
@@ -421,17 +434,16 @@ fn main() {
     }
 
     let artifact = PathBuf::from(ARTIFACT);
-    fs::write(
-        &artifact,
-        serde_json::to_string_pretty(&report).expect("serialize report"),
-    )
-    .expect("write artifact");
+    let body =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serializing report: {e}"))?;
+    fs::write(&artifact, body)
+        .map_err(|e| format!("writing artifact {}: {e}", artifact.display()))?;
     println!("bench_gate: wrote {}", artifact.display());
 
     if failures.is_empty() {
         println!("bench_gate: PASS");
     } else {
         eprintln!("bench_gate: {} failure(s)", failures.len());
-        std::process::exit(1);
     }
+    Ok(failures.is_empty())
 }

@@ -20,6 +20,7 @@ use fedtrip_metrics::tsne::{Tsne, TsneConfig};
 use fedtrip_models::ModelKind;
 use fedtrip_tensor::optim::{Optimizer, SgdMomentum};
 use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::rng_tags;
 use serde_json::json;
 
 /// Mean ratio of nearest same-class distance to nearest other-class
@@ -77,7 +78,7 @@ fn local_round(
     net.set_params_flat(global);
     let mut opt = SgdMomentum::new(0.01, 0.9);
     let refs = sim.partition().shard(client);
-    let mut rng = Prng::derive(seed, &[0xF1_62, client as u64]);
+    let mut rng = Prng::derive(seed, &[rng_tags::TSNE_INIT, client as u64]);
     for (x, y) in BatchIter::new(ds, &refs, sim.config().batch_size, &mut rng) {
         net.zero_grads();
         net.train_step(&x, &y);

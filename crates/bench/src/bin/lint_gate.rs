@@ -1,0 +1,120 @@
+//! CI gate over `fedtrip-lint`: lints the whole workspace and exits
+//! nonzero on any unsanctioned finding.
+//!
+//! ```text
+//! lint_gate [--root <dir>] [--json <path>] [--update-schema]
+//! ```
+//!
+//! `--json` writes the machine-readable report (uploaded as a CI
+//! artifact); `--update-schema` regenerates `results/checkpoint_schema.json`
+//! from the current checkpoint source before linting — run it whenever a
+//! deliberate layout change bumps `CHECKPOINT_VERSION`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fedtrip_lint::{lint_workspace, render_schema_manifest, LintConfig};
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    update_schema: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = None;
+    let mut update_schema = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                json = Some(PathBuf::from(it.next().ok_or("--json needs a path")?));
+            }
+            "--update-schema" => update_schema = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: lint_gate [--root <dir>] [--json <path>] [--update-schema]".into(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        root,
+        json,
+        update_schema,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    if !args.root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (no crates/ directory); \
+             run from the repo root or pass --root",
+            args.root.display()
+        ));
+    }
+    let cfg = LintConfig::default();
+
+    if args.update_schema {
+        let manifest = render_schema_manifest(&args.root, &cfg)
+            .map_err(|e| format!("reading {}: {e}", cfg.checkpoint_source))?
+            .ok_or_else(|| {
+                format!(
+                    "{} defines no CHECKPOINT_VERSION; nothing to extract",
+                    cfg.checkpoint_source
+                )
+            })?;
+        let path = args.root.join(&cfg.checkpoint_manifest);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(&path, &manifest).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("lint_gate: wrote {}", path.display());
+    }
+
+    let report = lint_workspace(&args.root, &cfg)
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+
+    if let Some(path) = &args.json {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("creating {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, report.to_json())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    eprintln!(
+        "lint_gate: {} files scanned, {} finding{}",
+        report.files_scanned,
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        }
+    );
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("lint_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

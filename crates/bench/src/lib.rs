@@ -28,6 +28,8 @@
 //! done
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cases;
 pub mod cells;
 pub mod population;

@@ -91,7 +91,7 @@ impl Algorithm for FedDyn {
         // and the post-round update below happens after the borrow ends
         let adjust = GradAdjust::DynReg {
             alpha,
-            lambda: state.correction.as_deref().expect("initialized above"),
+            lambda: state.correction.as_deref().expect("initialized above"), // lint:allow(panic) — correction seeded earlier in this call
             global,
         };
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
@@ -99,7 +99,7 @@ impl Algorithm for FedDyn {
 
         let params = net.params_flat();
         // lambda_k <- lambda_k - alpha (w_k - w_global)
-        let lam = state.correction.as_mut().expect("initialized above");
+        let lam = state.correction.as_mut().expect("initialized above"); // lint:allow(panic) — correction seeded earlier in this call
         for ((lv, &wv), &gl) in lam.iter_mut().zip(&params).zip(global) {
             *lv -= alpha * (wv - gl);
         }

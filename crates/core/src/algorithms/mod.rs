@@ -41,6 +41,7 @@ use fedtrip_data::loader::BatchIter;
 use fedtrip_data::synth::{SampleRef, SyntheticVision};
 use fedtrip_tensor::optim::{GradAdjust, Optimizer, SgdMomentum};
 use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::rng_tags;
 use fedtrip_tensor::vecops;
 use fedtrip_tensor::{Sequential, Tensor};
 use serde::{Deserialize, Serialize};
@@ -83,7 +84,12 @@ impl LocalContext<'_> {
     pub fn epoch_rng(&self, epoch: usize) -> Prng {
         Prng::derive(
             self.seed,
-            &[0xE0, self.round as u64, self.client_id as u64, epoch as u64],
+            &[
+                rng_tags::EPOCH_SHUFFLE,
+                self.round as u64,
+                self.client_id as u64,
+                epoch as u64,
+            ],
         )
     }
 }

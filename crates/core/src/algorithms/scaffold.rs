@@ -79,7 +79,7 @@ impl Algorithm for Scaffold {
         // reads it, and the option-II refresh below runs in place
         let adjust = GradAdjust::ControlVariates {
             c_server,
-            c_client: state.correction.as_deref().expect("initialized above"),
+            c_client: state.correction.as_deref().expect("initialized above"), // lint:allow(panic) — correction seeded earlier in this call
         };
         let mut opt = self.make_optimizer(ctx.lr, ctx.momentum);
         let (iterations, samples, mean_loss) = run_local_sgd(net, data, ctx, opt.as_mut(), &adjust);
@@ -89,7 +89,7 @@ impl Algorithm for Scaffold {
         let scale = 1.0 / (iterations.max(1) as f32 * ctx.lr);
         let mut delta_c = vec![0.0f32; n];
         {
-            let ck = state.correction.as_mut().expect("initialized above");
+            let ck = state.correction.as_mut().expect("initialized above"); // lint:allow(panic) — correction seeded earlier in this call
             for i in 0..n {
                 let fresh = ck[i] - c_server[i] + (ctx.global[i] - params[i]) * scale;
                 delta_c[i] = fresh - ck[i];

@@ -408,8 +408,12 @@ impl Checkpoint {
         let version = value.get("version").and_then(|v| v.as_u64());
         match version {
             Some(v) if v == CHECKPOINT_VERSION as u64 => {
-                let ckpt: Checkpoint = serde::Deserialize::from_value(&value)
-                    .map_err(|e| snapshot_err("snapshot does not fit the v5 layout", e))?;
+                let ckpt: Checkpoint = serde::Deserialize::from_value(&value).map_err(|e| {
+                    snapshot_err(
+                        &format!("snapshot does not fit the v{CHECKPOINT_VERSION} layout"),
+                        e,
+                    )
+                })?;
                 Ok(ckpt)
             }
             Some(4) => {

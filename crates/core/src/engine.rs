@@ -641,7 +641,7 @@ impl Simulation {
             compression_ratio: dense_up_bytes / up_bytes,
         });
         self.round = t;
-        self.records.last().expect("just pushed")
+        self.records.last().expect("just pushed") // lint:allow(panic) — record pushed on the line above
     }
 
     /// Run all configured rounds (continues from wherever the simulation

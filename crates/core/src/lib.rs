@@ -26,6 +26,7 @@
 //!   `paper` scales, shared by the examples, the integration tests and every
 //!   table/figure binary in `fedtrip-bench`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithms;
@@ -43,3 +44,8 @@ pub use costs::{AttachCost, CostModel};
 pub use engine::{RoundRecord, RunMode, SelectionStrategy, Simulation, SimulationConfig};
 pub use experiment::{ExperimentSpec, Scale};
 pub use runtime::{DeviceProfile, Sampler, Scheduler, SemiAsync, Synchronous, VirtualClock};
+
+// The canonical import point for the RNG stream-tag registry: the module
+// lives in `fedtrip-tensor` (next to `Prng`, below the data/model crates in
+// the dependency graph) and is re-exported here for engine-level code.
+pub use fedtrip_tensor::rng_tags;

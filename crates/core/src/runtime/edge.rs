@@ -203,7 +203,7 @@ impl EdgeTier {
         });
         let mut folds: Vec<PartialFold> = work
             .into_iter()
-            .map(|(_, slot)| slot.expect("every bucket folded"))
+            .map(|(_, slot)| slot.expect("every bucket folded")) // lint:allow(panic) — every bucket filled by the fold loop above
             .collect();
 
         // root merge: fixed pairwise tree, ascending edge order; the pairs
@@ -222,7 +222,7 @@ impl EdgeTier {
             });
             folds = pairs.into_iter().map(|(left, _)| left).collect();
         }
-        let (fold, folded) = folds.pop().expect("non-empty cohort");
+        let (fold, folded) = folds.pop().expect("non-empty cohort"); // lint:allow(panic) — caller guarantees a non-empty cohort
         (fold, folded, active)
     }
 }

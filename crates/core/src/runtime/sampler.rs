@@ -18,6 +18,7 @@
 //! ```
 
 use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::rng_tags;
 use serde::{Deserialize, Serialize};
 
 /// How the server picks the `K` participants of each round.
@@ -139,7 +140,7 @@ impl Sampler {
     /// (sorted, distinct).
     pub fn select(&self, t: usize) -> Vec<usize> {
         let (n, k) = (self.n_clients, self.clients_per_round);
-        let mut sel_rng = Prng::derive(self.seed, &[0x005E_1EC7 /* "SELECT" */, t as u64]);
+        let mut sel_rng = Prng::derive(self.seed, &[rng_tags::SELECT, t as u64]);
         let mut selected = match self.strategy {
             SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
             SelectionStrategy::RoundRobin => (0..k).map(|i| ((t - 1) * k + i) % n).collect(),
@@ -158,7 +159,7 @@ impl Sampler {
         if self.failure_prob <= 0.0 {
             return selected.to_vec();
         }
-        let mut rng = Prng::derive(self.seed, &[0xFA_11, t as u64]);
+        let mut rng = Prng::derive(self.seed, &[rng_tags::FAILURE, t as u64]);
         let mut survivors: Vec<usize> = selected
             .iter()
             .copied()
@@ -185,7 +186,7 @@ impl Sampler {
         if k == 0 {
             return Vec::new();
         }
-        let mut rng = Prng::derive(self.seed, &[0xD15_9A7C /* "DISPATCH" */, t as u64]);
+        let mut rng = Prng::derive(self.seed, &[rng_tags::DISPATCH, t as u64]);
         let mut picked: Vec<usize> = match self.strategy {
             SelectionStrategy::Uniform => rng
                 .sample_indices(pool.len(), k)
@@ -243,7 +244,7 @@ impl Sampler {
             return Vec::new();
         }
         let is_busy = |c: usize| busy.binary_search(&c).is_ok();
-        let mut rng = Prng::derive(self.seed, &[0xD15_9A7C /* "DISPATCH" */, t as u64]);
+        let mut rng = Prng::derive(self.seed, &[rng_tags::DISPATCH, t as u64]);
         // weighted-by-samples over uniform sizes IS uniform selection
         let uniform = self.strategy == SelectionStrategy::Uniform
             || (self.strategy == SelectionStrategy::WeightedBySamples

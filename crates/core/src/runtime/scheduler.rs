@@ -295,7 +295,7 @@ impl SemiAsync {
             .min_by(|(_, a), (_, b)| {
                 a.finish
                     .partial_cmp(&b.finish)
-                    .expect("finite finish times")
+                    .expect("finite finish times") // lint:allow(panic) — finish times are finite by construction
                     .then(a.client.cmp(&b.client))
             })
             .map(|(i, _)| i)
@@ -328,7 +328,7 @@ impl Scheduler for SemiAsync {
         // 2. collect arrivals in virtual-completion order until the buffer
         //    holds B results (or nothing is left in flight).
         while self.state.buffer.len() < self.buffer_size && !self.state.in_flight.is_empty() {
-            let idx = self.next_arrival().expect("in_flight non-empty");
+            let idx = self.next_arrival().expect("in_flight non-empty"); // lint:allow(panic) — loop condition keeps in_flight non-empty
             let job = self.state.in_flight.swap_remove(idx);
             rt.clock.advance_to(job.finish);
             self.state.buffer.push(job);

@@ -15,6 +15,8 @@
 //! datasets are never materialized in full: clients hold lightweight
 //! [`synth::SampleRef`]s and synthesize mini-batches on demand.
 
+#![forbid(unsafe_code)]
+
 pub mod loader;
 pub mod partition;
 pub mod synth;

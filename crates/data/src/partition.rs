@@ -40,6 +40,7 @@
 
 use crate::synth::{DatasetSpec, SampleRef};
 use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::rng_tags;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -191,7 +192,7 @@ impl Partition {
     pub fn resident_shards(&self) -> usize {
         self.cache
             .lock()
-            .expect("partition cache poisoned")
+            .expect("partition cache poisoned") // lint:allow(panic) — poisoning implies a prior panic
             .shards
             .len()
     }
@@ -209,7 +210,7 @@ impl Partition {
             "client {client} out of range (n_clients {})",
             self.n_clients
         );
-        let mut cache = self.cache.lock().expect("partition cache poisoned");
+        let mut cache = self.cache.lock().expect("partition cache poisoned"); // lint:allow(panic) — poisoning implies a prior panic
         if let Some(s) = cache.shards.get(&client) {
             return Arc::clone(s);
         }
@@ -258,11 +259,12 @@ impl Partition {
     fn client_rng_and_weights(&self, client: usize) -> (Prng, Vec<f64>) {
         match self.kind {
             HeterogeneityKind::Iid => {
-                let rng = Prng::derive(self.seed, &[0x1D, client as u64]);
+                let rng = Prng::derive(self.seed, &[rng_tags::PARTITION_IID, client as u64]);
                 (rng, vec![1.0; self.classes])
             }
             HeterogeneityKind::Dirichlet(alpha) => {
-                let mut rng = Prng::derive(self.seed, &[0xD1, client as u64]);
+                let mut rng =
+                    Prng::derive(self.seed, &[rng_tags::PARTITION_DIRICHLET, client as u64]);
                 let probs = dirichlet(alpha, self.classes, &mut rng);
                 (rng, probs)
             }
@@ -275,7 +277,7 @@ impl Partition {
                 let probs: Vec<f64> = (0..self.classes)
                     .map(|cl| if cl >= lo && cl < hi { 1.0 } else { 0.0 })
                     .collect();
-                let rng = Prng::derive(self.seed, &[0x0A, client as u64]);
+                let rng = Prng::derive(self.seed, &[rng_tags::PARTITION_ORTHOGONAL, client as u64]);
                 (rng, probs)
             }
         }
@@ -323,7 +325,7 @@ impl Partition {
     /// shards it draws, so analysis over a small federation stays cheap and
     /// a large one doesn't pin O(N) shard memory.
     pub fn label_histograms(&self) -> Vec<Vec<usize>> {
-        let mut cache = self.cache.lock().expect("partition cache poisoned");
+        let mut cache = self.cache.lock().expect("partition cache poisoned"); // lint:allow(panic) — poisoning implies a prior panic
         (0..self.n_clients)
             .map(|c| {
                 let mut h = vec![0usize; self.classes];
@@ -427,7 +429,7 @@ impl ClassPools {
                 (0..weights.len())
                     .rev()
                     .find(|&c| self.remaining(c) > 0 && weights[c] > 0.0)
-                    .expect("viable class exists because total > 0")
+                    .expect("viable class exists because total > 0") // lint:allow(panic) — guarded by total > 0 above
             });
             out.push(SampleRef {
                 class: c as u16,
@@ -476,11 +478,11 @@ mod tests {
             .map(|c| match kind {
                 HeterogeneityKind::Iid => {
                     let probs = vec![1.0; spec.classes];
-                    let mut rng = Prng::derive(seed, &[0x1D, c as u64]);
+                    let mut rng = Prng::derive(seed, &[rng_tags::PARTITION_IID, c as u64]);
                     pools.draw(&probs, spec.client_samples, &mut rng)
                 }
                 HeterogeneityKind::Dirichlet(alpha) => {
-                    let mut rng = Prng::derive(seed, &[0xD1, c as u64]);
+                    let mut rng = Prng::derive(seed, &[rng_tags::PARTITION_DIRICHLET, c as u64]);
                     let probs = dirichlet(alpha, spec.classes, &mut rng);
                     pools.draw(&probs, spec.client_samples, &mut rng)
                 }
@@ -491,7 +493,7 @@ mod tests {
                     let probs: Vec<f64> = (0..spec.classes)
                         .map(|cl| if cl >= lo && cl < hi { 1.0 } else { 0.0 })
                         .collect();
-                    let mut rng = Prng::derive(seed, &[0x0A, c as u64]);
+                    let mut rng = Prng::derive(seed, &[rng_tags::PARTITION_ORTHOGONAL, c as u64]);
                     pools.draw(&probs, spec.client_samples, &mut rng)
                 }
             })

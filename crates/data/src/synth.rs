@@ -12,6 +12,7 @@
 //! materialized arrays, safe to synthesize concurrently from rayon workers.
 
 use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::rng_tags;
 use fedtrip_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -202,13 +203,6 @@ pub struct SyntheticVision {
 }
 
 impl SyntheticVision {
-    /// Domain tag for prototype generation streams.
-    const TAG_PROTO: u64 = 0x50_52_4f_54; // "PROT"
-    /// Domain tag for the shared background streams.
-    const TAG_BASE: u64 = 0x42_41_53_45; // "BASE"
-    /// Domain tag for per-sample streams.
-    const TAG_SAMPLE: u64 = 0x53_41_4d_50; // "SAMP"
-
     /// Build a dataset with the given preset and seed.
     pub fn new(kind: DatasetKind, seed: u64) -> Self {
         let spec = kind.spec();
@@ -216,7 +210,7 @@ impl SyntheticVision {
         for class in 0..spec.classes {
             let mut per_channel = Vec::with_capacity(spec.channels);
             for ch in 0..spec.channels {
-                let mut rng = Prng::derive(seed, &[Self::TAG_PROTO, class as u64, ch as u64]);
+                let mut rng = Prng::derive(seed, &[rng_tags::SYNTH_PROTO, class as u64, ch as u64]);
                 let blobs = (0..spec.blob_count)
                     .map(|_| Blob {
                         cx: rng.uniform() * spec.width as f32,
@@ -232,7 +226,7 @@ impl SyntheticVision {
         }
         let mut base = Vec::with_capacity(spec.channels);
         for ch in 0..spec.channels {
-            let mut rng = Prng::derive(seed, &[Self::TAG_BASE, ch as u64]);
+            let mut rng = Prng::derive(seed, &[rng_tags::SYNTH_BASE, ch as u64]);
             let blobs = (0..spec.blob_count + 1)
                 .map(|_| Blob {
                     cx: rng.uniform() * spec.width as f32,
@@ -266,7 +260,12 @@ impl SyntheticVision {
     pub fn label_of(&self, r: SampleRef) -> usize {
         let mut rng = Prng::derive(
             self.seed,
-            &[Self::TAG_SAMPLE, r.class as u64, r.id as u64, 0xF11B],
+            &[
+                rng_tags::SYNTH_SAMPLE,
+                r.class as u64,
+                r.id as u64,
+                rng_tags::SYNTH_LABEL_FLIP,
+            ],
         );
         if (rng.uniform() as f64) < self.spec.label_flip {
             // flip to a uniformly random *other* class
@@ -286,7 +285,10 @@ impl SyntheticVision {
     pub fn write_sample(&self, r: SampleRef, out: &mut [f32]) {
         let spec = &self.spec;
         debug_assert_eq!(out.len(), spec.sample_elems());
-        let mut rng = Prng::derive(self.seed, &[Self::TAG_SAMPLE, r.class as u64, r.id as u64]);
+        let mut rng = Prng::derive(
+            self.seed,
+            &[rng_tags::SYNTH_SAMPLE, r.class as u64, r.id as u64],
+        );
         let dx = rng.below(2 * spec.jitter as usize + 1) as i32 - spec.jitter;
         let dy = rng.below(2 * spec.jitter as usize + 1) as i32 - spec.jitter;
         let scale = 0.8 + 0.4 * rng.uniform();

@@ -1,0 +1,371 @@
+//! Per-file context derived from the token stream: `#[cfg(test)]` regions,
+//! function and `impl` spans, and `lint:allow` sanction comments.
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+
+/// A half-open token-index range `[start, end)`.
+pub type TokRange = (usize, usize);
+
+/// One function's span in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` target type name, if any.
+    pub impl_type: Option<String>,
+    /// Token range of the whole item (from the `fn` keyword to the closing
+    /// brace, exclusive).
+    pub range: TokRange,
+}
+
+/// One site-level sanction parsed from a `// lint:allow(rule, …) — reason`
+/// comment.
+#[derive(Debug, Clone)]
+pub struct Sanction {
+    /// Rule ids the sanction covers.
+    pub rules: Vec<String>,
+    /// Source lines the sanction applies to (the comment's own line plus
+    /// the next code line).
+    pub lines: Vec<u32>,
+    /// Line of the sanction comment itself.
+    pub at: u32,
+    /// True when a non-empty reason follows the rule list.
+    pub has_reason: bool,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (`crates/core/src/engine.rs`).
+    pub rel: String,
+    /// Crate the file belongs to (`core`, `tensor`, …; the facade crate is
+    /// `fedtrip`).
+    pub crate_name: String,
+    /// True when the path goes through `tests/`, `benches/`, `examples/`
+    /// or `src/bin/` — binary or test code, exempt from library-hygiene
+    /// rules.
+    pub bin_or_test_path: bool,
+    /// Token stream.
+    pub tokens: &'a [Token],
+    /// Comments.
+    pub comments: &'a [Comment],
+    /// Token ranges under `#[cfg(test)]`.
+    pub test_ranges: Vec<TokRange>,
+    /// Function spans, outermost first.
+    pub fns: Vec<FnSpan>,
+    /// Parsed sanctions.
+    pub sanctions: Vec<Sanction>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Build the context for one lexed file.
+    pub fn new(rel: String, crate_name: String, lexed: &'a Lexed) -> FileCtx<'a> {
+        let bin_or_test_path = rel
+            .split('/')
+            .any(|c| c == "tests" || c == "benches" || c == "examples" || c == "bin");
+        let test_ranges = cfg_test_ranges(&lexed.tokens);
+        let fns = fn_spans(&lexed.tokens);
+        let sanctions = parse_sanctions(&lexed.comments, &lexed.tokens);
+        FileCtx {
+            rel,
+            crate_name,
+            bin_or_test_path,
+            tokens: &lexed.tokens,
+            comments: &lexed.comments,
+            test_ranges,
+            fns,
+            sanctions,
+        }
+    }
+
+    /// Is token index `i` inside a `#[cfg(test)]` region?
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// Innermost function span containing token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| i >= f.range.0 && i < f.range.1)
+            .min_by_key(|f| f.range.1 - f.range.0)
+    }
+
+    /// Is `rule` sanctioned at source line `line`?
+    pub fn sanctioned(&self, rule: &str, line: u32) -> bool {
+        self.sanctions
+            .iter()
+            .any(|s| s.has_reason && s.lines.contains(&line) && s.rules.iter().any(|r| r == rule))
+    }
+}
+
+/// Find the matching `}` for the `{` at token index `open` (returns the
+/// index *after* it).
+fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Token ranges covered by `#[cfg(test)]` attributes (the attribute's item
+/// body, brace-matched).
+fn cfg_test_ranges(tokens: &[Token]) -> Vec<TokRange> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 5 < tokens.len() {
+        let is_cfg_test = tokens[i].text == "#"
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "("
+            && tokens[i + 4].text == "test"
+            && tokens[i + 5].text == ")";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // skip to the end of this attribute, then over any further
+        // attributes, to the annotated item
+        let mut j = i + 1;
+        loop {
+            // j points at `[`: match brackets
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j + 1 < tokens.len() && tokens[j].text == "#" && tokens[j + 1].text == "[" {
+                j += 1; // next attribute
+            } else {
+                break;
+            }
+        }
+        // j is at the item start; its body ends at the matching `}` of the
+        // first `{`, or at a `;` that comes first (e.g. `mod name;`)
+        let mut k = j;
+        let end = loop {
+            if k >= tokens.len() {
+                break tokens.len();
+            }
+            match tokens[k].text.as_str() {
+                "{" => break match_brace(tokens, k),
+                ";" => break k + 1,
+                _ => k += 1,
+            }
+        };
+        out.push((i, end));
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// All function spans with their enclosing `impl` target (if any).
+fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    // impl spans first
+    let mut impls: Vec<(String, TokRange)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "impl" {
+            // scan to the body `{`, remembering the last ident seen outside
+            // generics (after `for`, that ident is the target type)
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut target = String::new();
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "{" if angle <= 0 => break,
+                    ";" if angle <= 0 => break,
+                    _ => {
+                        if tokens[j].kind == TokenKind::Ident && angle <= 0 {
+                            target = tokens[j].text.clone();
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "{" {
+                impls.push((target, (i, match_brace(tokens, j))));
+            }
+            i = j.max(i + 1);
+            continue;
+        }
+        i += 1;
+    }
+    // then fns
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident
+            && tokens[i].text == "fn"
+            && tokens[i + 1].kind == TokenKind::Ident
+        {
+            let name = tokens[i + 1].text.clone();
+            // find the body `{` at paren/bracket depth 0 (stop at `;` for
+            // bodyless trait methods)
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut end = None;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "(" | "[" => paren += 1,
+                    ")" | "]" => paren -= 1,
+                    "{" if paren == 0 => {
+                        end = Some(match_brace(tokens, j));
+                        break;
+                    }
+                    ";" if paren == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(end) = end {
+                let impl_type = impls
+                    .iter()
+                    .filter(|(_, (s, e))| i >= *s && i < *e)
+                    .min_by_key(|(_, (s, e))| e - s)
+                    .map(|(t, _)| t.clone());
+                out.push(FnSpan {
+                    name,
+                    impl_type,
+                    range: (i, end),
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Parse `lint:allow(rule, …)` comments into [`Sanction`]s.
+///
+/// A sanction covers its own line (trailing-comment form) and the next
+/// line holding a code token (own-line form).
+fn parse_sanctions(comments: &[Comment], tokens: &[Token]) -> Vec<Sanction> {
+    let mut out = Vec::new();
+    for c in comments {
+        // only plain `//` / `/*` comments sanction; doc comments merely
+        // *describe* the syntax (rustdoc examples of the allow marker must
+        // not suppress anything)
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(pos) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let after = &c.text[pos + "lint:allow(".len()..];
+        let Some(close) = after.find(')') else {
+            // malformed; record as reason-less so it suppresses nothing and
+            // the lint-syntax rule can flag it
+            out.push(Sanction {
+                rules: Vec::new(),
+                lines: vec![c.line],
+                at: c.line,
+                has_reason: false,
+            });
+            continue;
+        };
+        let rules: Vec<String> = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        // the reason is whatever follows the `)` minus separator dashes
+        let reason = after[close + 1..]
+            .trim_start_matches([' ', '\t', '-', '—', '–', ':'])
+            .trim();
+        let mut lines = vec![c.line];
+        if !c.trailing {
+            if let Some(t) = tokens.iter().find(|t| t.line > c.end_line) {
+                lines.push(t.line);
+            }
+        }
+        out.push(Sanction {
+            rules,
+            lines,
+            at: c.line,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_region_covers_mod_body() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let l = lex(src);
+        let ctx = FileCtx::new("a.rs".into(), "core".into(), &l);
+        let unwrap_idx = l.tokens.iter().position(|t| t.text == "unwrap").unwrap();
+        assert!(ctx.in_test_code(unwrap_idx));
+        let live_idx = l.tokens.iter().position(|t| t.text == "live").unwrap();
+        assert!(!ctx.in_test_code(live_idx));
+    }
+
+    #[test]
+    fn fn_spans_carry_impl_target() {
+        let src = "impl ServerFold { fn merge(&mut self) { body(); } }\nfn free() {}";
+        let l = lex(src);
+        let ctx = FileCtx::new("a.rs".into(), "core".into(), &l);
+        let body_idx = l.tokens.iter().position(|t| t.text == "body").unwrap();
+        let f = ctx.enclosing_fn(body_idx).unwrap();
+        assert_eq!(f.name, "merge");
+        assert_eq!(f.impl_type.as_deref(), Some("ServerFold"));
+    }
+
+    #[test]
+    fn sanction_applies_to_next_code_line() {
+        let src = "// lint:allow(panic) — startup invariant\nx.unwrap();\ny.unwrap();";
+        let l = lex(src);
+        let ctx = FileCtx::new("a.rs".into(), "core".into(), &l);
+        assert!(ctx.sanctioned("panic", 2));
+        assert!(!ctx.sanctioned("panic", 3));
+        assert!(!ctx.sanctioned("determinism", 2));
+    }
+
+    #[test]
+    fn trailing_sanction_covers_its_own_line() {
+        let src = "x.unwrap(); // lint:allow(panic) — checked above\n";
+        let l = lex(src);
+        let ctx = FileCtx::new("a.rs".into(), "core".into(), &l);
+        assert!(ctx.sanctioned("panic", 1));
+    }
+
+    #[test]
+    fn reasonless_sanction_suppresses_nothing() {
+        let src = "// lint:allow(panic)\nx.unwrap();";
+        let l = lex(src);
+        let ctx = FileCtx::new("a.rs".into(), "core".into(), &l);
+        assert!(!ctx.sanctioned("panic", 2));
+    }
+}

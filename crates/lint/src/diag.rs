@@ -1,0 +1,134 @@
+//! Diagnostics and the machine-readable report.
+
+use std::fmt;
+
+/// One finding: `file:line: rule-id: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id (`determinism`, `rng-tags`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Full result of one workspace pass.
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render the report as pretty JSON (hand-rolled: the report is the
+    /// CI artifact, so its shape must not depend on shim internals).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"findings\": {},\n", self.diagnostics.len()));
+        s.push_str("  \"rules\": [\n");
+        for (i, (id, summary)) in crate::rules::RULES.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {}, \"summary\": {}}}{}\n",
+                json_str(id),
+                json_str(summary),
+                if i + 1 < crate::rules::RULES.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}{}\n",
+                json_str(&d.file),
+                d.line,
+                json_str(d.rule),
+                json_str(&d.message),
+                if i + 1 < self.diagnostics.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Escape a string as a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_round_trips_through_the_shim_parser() {
+        let report = LintReport {
+            files_scanned: 2,
+            diagnostics: vec![Diagnostic {
+                file: "crates/core/src/a.rs".into(),
+                line: 7,
+                rule: "panic",
+                message: "a \"quoted\" message\nwith a newline".into(),
+            }],
+        };
+        let v: serde_json::Value = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(v.get("files_scanned").and_then(|x| x.as_u64()), Some(2));
+        let diags = v.get("diagnostics").and_then(|x| x.as_array()).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].get("rule").and_then(|x| x.as_str()), Some("panic"));
+    }
+
+    #[test]
+    fn display_matches_grep_friendly_shape() {
+        let d = Diagnostic {
+            file: "src/lib.rs".into(),
+            line: 3,
+            rule: "determinism",
+            message: "msg".into(),
+        };
+        assert_eq!(d.to_string(), "src/lib.rs:3: determinism: msg");
+    }
+}

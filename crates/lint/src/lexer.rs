@@ -1,0 +1,436 @@
+//! A hand-rolled token-level scanner for Rust source.
+//!
+//! Deliberately **not** an AST parser (no `syn` — consistent with the
+//! workspace's offline-shim philosophy): the rules this crate enforces are
+//! about *lexical* facts — which identifiers appear where, which literals
+//! sit in which argument position, which comments precede which keyword —
+//! and a token stream answers those questions without a grammar. What the
+//! lexer must get exactly right is the part naive `grep` cannot: comments
+//! (line, nested block, doc), string literals (escaped, raw with `#`
+//! fences, byte), char literals versus lifetimes, and numeric literals
+//! with `_` separators. Everything inside a comment or string is opaque to
+//! the rules, which is what kills the "`unwrap` mentioned in a doc
+//! comment" class of false positive.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Numeric literal (`1`, `0xD15_9A7C`, `1.0e-3`).
+    Num,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes
+    /// included in `text`.
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators (`::`, `+=`, `..=`, …) come as
+    /// one token.
+    Punct,
+}
+
+/// One source token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Exact source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line `//`, doc `///` / `//!`, or block `/* */`).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (same as `line` for `//`).
+    pub end_line: u32,
+    /// True when a token precedes the comment on its start line (a
+    /// trailing comment annotates its own line, not the next one).
+    pub trailing: bool,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in order. Comments are *not* tokens.
+    pub tokens: Vec<Token>,
+    /// Comments, in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. The lexer is total: unexpected bytes become single-char
+/// punct tokens rather than errors, so a half-written file still lints.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_token = false;
+    let n = b.len();
+
+    let is_ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            line_has_token = false;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // comments
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: b[start..i].iter().collect(),
+                line,
+                end_line: line,
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let trailing = line_has_token;
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+                end_line: line,
+                trailing,
+            });
+            continue;
+        }
+        // raw / byte strings and raw identifiers
+        if c == 'r' || c == 'b' {
+            // br"..", rb is not a thing; rb#".."# invalid; rb ident fine
+            let mut j = i;
+            let mut saw_b = false;
+            if b[j] == 'b' {
+                saw_b = true;
+                j += 1;
+            }
+            let raw = j < n && b[j] == 'r';
+            if raw {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while raw && j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if (raw || saw_b) && j < n && b[j] == '"' {
+                // raw or byte string: scan to closing quote + hashes
+                let start = i;
+                let start_line = line;
+                i = j + 1;
+                loop {
+                    if i >= n {
+                        break;
+                    }
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                        continue;
+                    }
+                    if !raw && b[i] == '\\' {
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: b[start..i.min(n)].iter().collect(),
+                    line: start_line,
+                });
+                line_has_token = true;
+                continue;
+            }
+            if raw && hashes == 1 && j < n && is_ident_start(b[j]) {
+                // raw identifier r#type
+                let start = i;
+                i = j;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+                line_has_token = true;
+                continue;
+            }
+            // plain identifier starting with r/b — fall through
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident(b[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            line_has_token = true;
+            continue;
+        }
+        // plain strings
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: b[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            line_has_token = true;
+            continue;
+        }
+        // char literal vs lifetime
+        if c == '\'' {
+            let start = i;
+            if i + 1 < n && b[i + 1] == '\\' {
+                // escaped char literal '\n', '\'', '\u{..}'
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else if i + 2 < n && b[i + 2] == '\'' {
+                // one-char literal 'a' (also '_' and digits)
+                i += 3;
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                // lifetime 'a / 'static
+                i += 1;
+                while i < n && is_ident(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: b[start..i].iter().collect(),
+                    line,
+                });
+            }
+            line_has_token = true;
+            continue;
+        }
+        // numbers (incl. 0xAB_CD, 1.0e-3, 42u64)
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            let hex = i < n && (b[i] == 'x' || b[i] == 'X' || b[i] == 'o' || b[i] == 'b');
+            if hex {
+                i += 1;
+            }
+            while i < n {
+                let d = b[i];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    // exponent sign: 1e-3 / 1E+3 (decimal floats only)
+                    if !hex
+                        && (d == 'e' || d == 'E')
+                        && i + 1 < n
+                        && (b[i + 1] == '+' || b[i + 1] == '-')
+                        && i + 2 < n
+                        && b[i + 2].is_ascii_digit()
+                    {
+                        i += 2;
+                    }
+                    i += 1;
+                } else if d == '.' && i + 1 < n && b[i + 1].is_ascii_digit() && !hex {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: b[start..i].iter().collect(),
+                line,
+            });
+            line_has_token = true;
+            continue;
+        }
+        // punctuation; longest-match multi-char operators first
+        const MULTI: [&str; 18] = [
+            "..=", "...", "<<=", ">>=", "::", "->", "=>", "..", "+=", "-=", "*=", "/=", "%=", "&&",
+            "||", "==", "!=", "<=",
+        ];
+        let rest: String = b[i..(i + 3).min(n)].iter().collect();
+        let mut matched = None;
+        for op in MULTI {
+            if rest.starts_with(op) {
+                matched = Some(op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: op.to_string(),
+                line,
+            });
+            i += op.len();
+        } else {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+        line_has_token = true;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let l = lex("let x = \"a.unwrap()\"; // .unwrap() here too\n");
+        assert!(l.tokens.iter().all(|t| t.text != "unwrap"));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].trailing);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex("let s = r#\"panic!(\"no\")\"#; let t = b\"bytes\";");
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            2
+        );
+        assert!(l.tokens.iter().all(|t| t.text != "panic"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn hex_literals_with_separators() {
+        let l = lex("const T: u64 = 0xD15_9A7C;");
+        let num = l.tokens.iter().find(|t| t.kind == TokenKind::Num).unwrap();
+        assert_eq!(num.text, "0xD15_9A7C");
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        assert!(texts("for i in 0..n {}").contains(&"..".to_string()));
+        assert!(texts("for i in 0..=k {}").contains(&"..=".to_string()));
+    }
+
+    #[test]
+    fn multi_char_ops() {
+        let t = texts("a += 1; b::c(); x -> y");
+        assert!(t.contains(&"+=".to_string()));
+        assert!(t.contains(&"::".to_string()));
+        assert!(t.contains(&"->".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ fn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

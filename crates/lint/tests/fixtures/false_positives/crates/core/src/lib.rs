@@ -1,0 +1,16 @@
+#![forbid(unsafe_code)]
+//! Fixture: trip-words inside comments and strings must NOT fire any
+//! rule. Docs mention .unwrap(), panic!, std::time::Instant, SystemTime,
+//! HashMap iteration via .keys(), and Prng::derive(seed, &[1, 2]).
+
+/// Instantiate the report ("Instantiate" contains "Instant" as a
+/// substring; the whole-ident check must not bite).
+pub fn instantiate() -> &'static str {
+    // a comment calling x.unwrap() and m.values() and panic!("nope")
+    "calls .unwrap() and panic! and SystemTime and Prng::derive(s, &[7])"
+}
+
+/// Raw strings get the same treatment.
+pub fn raw() -> &'static str {
+    r#"for v in m.values() { q.sum::<f32>() } unsafe { }"#
+}

@@ -1,0 +1,13 @@
+#![forbid(unsafe_code)]
+//! Fixture: HashMap iteration in a deterministic crate (R1).
+
+use std::collections::HashMap;
+
+/// Keyed access stays legal; iteration does not.
+pub fn total(m: &HashMap<u64, u64>) -> u64 {
+    let mut t = m.get(&0).copied().unwrap_or(0);
+    for v in m.values() {
+        t = t.wrapping_add(*v);
+    }
+    t
+}

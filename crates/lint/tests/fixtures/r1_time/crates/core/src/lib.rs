@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture: wall-clock read in a deterministic crate (R1).
+
+pub fn stamp() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! Fixture: inline RNG tag literal at a derive call site (R2).
+
+pub struct Prng(u64);
+
+impl Prng {
+    pub fn derive(seed: u64, tags: &[u64]) -> Prng {
+        Prng(seed ^ tags.iter().copied().fold(0, u64::wrapping_add))
+    }
+}
+
+pub fn stream(seed: u64, round: u64) -> Prng {
+    Prng::derive(seed, &[0xBEEF, round])
+}

@@ -1,0 +1,4 @@
+//! Fixture: two registry tags share a value (R2).
+
+pub const SELECT: u64 = 0x10;
+pub const DISPATCH: u64 = 0x10;

@@ -1,0 +1,7 @@
+//! Fixture: float `+=` loop accumulation outside sanctioned helpers (R3).
+
+pub fn fold_params(acc: &mut [f32], xs: &[f32], w: f32) {
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a += w * x;
+    }
+}

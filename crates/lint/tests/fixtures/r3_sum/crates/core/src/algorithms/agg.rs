@@ -1,0 +1,5 @@
+//! Fixture: `.sum()` reduction outside the sanctioned fold helpers (R3).
+
+pub fn mean(xs: &[f32]) -> f32 {
+    xs.iter().sum::<f32>() / xs.len().max(1) as f32
+}

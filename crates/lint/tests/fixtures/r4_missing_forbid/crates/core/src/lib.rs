@@ -1,0 +1,5 @@
+//! Fixture: unsafe-free crate missing `#![forbid(unsafe_code)]` (R4).
+
+pub fn id(x: u64) -> u64 {
+    x
+}

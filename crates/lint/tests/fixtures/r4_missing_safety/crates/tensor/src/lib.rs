@@ -1,0 +1,5 @@
+//! Fixture: `unsafe` block missing its safety-proof comment (R4).
+
+pub fn peek(xs: &[f32]) -> f32 {
+    unsafe { *xs.get_unchecked(0) }
+}

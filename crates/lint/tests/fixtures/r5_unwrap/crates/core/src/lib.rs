@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Fixture: `.unwrap()` in library code (R5).
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,9 @@
+//! Fixture: serialized layout drifted from the committed manifest (R6).
+
+pub const CHECKPOINT_VERSION: u32 = 2;
+
+#[derive(Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub version: u32,
+    pub round: u64,
+}

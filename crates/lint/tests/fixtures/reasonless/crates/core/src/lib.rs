@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Fixture: a reasonless sanction suppresses nothing and is itself
+//! flagged — both `lint-syntax` and `panic` must fire.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(panic)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture: the same R5 violation as `r5_unwrap`, but sanctioned with a
+//! reason — must lint clean.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // lint:allow(panic) — caller guarantees non-empty input
+}

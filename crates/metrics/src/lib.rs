@@ -12,6 +12,8 @@
 //!   writing, shared by every table/figure binary so each prints
 //!   paper-vs-measured rows and drops machine-readable results.
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod stats;
 pub mod tsne;

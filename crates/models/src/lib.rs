@@ -23,10 +23,13 @@
 //! 2-layer-MLP architectures described in the text — and flag the factor-10
 //! typo in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use fedtrip_data::synth::DatasetKind;
 use fedtrip_tensor::conv::ConvGeom;
 use fedtrip_tensor::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
 use fedtrip_tensor::rng::Prng;
+use fedtrip_tensor::rng_tags;
 use fedtrip_tensor::Sequential;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +70,7 @@ impl ModelKind {
     /// Panics when the input shape is incompatible (e.g. AlexNet on
     /// grayscale 28x28 input).
     pub fn build(&self, input_shape: &[usize; 3], classes: usize, seed: u64) -> Sequential {
-        let mut rng = Prng::derive(seed, &[0x4D4F_4445_4C00 /* "MODEL" */]);
+        let mut rng = Prng::derive(seed, &[rng_tags::MODEL_INIT]);
         match self {
             ModelKind::Mlp => mlp(input_shape, classes, &mut rng),
             ModelKind::Cnn => cnn(input_shape, classes, &mut rng),

@@ -124,7 +124,7 @@ impl Layer for Conv2d {
         let (mut col, batch) = self
             .cached_col
             .take()
-            .expect("Conv2d::backward called before forward");
+            .expect("Conv2d::backward called before forward"); // lint:allow(panic) — backward-after-forward is the layer contract
         let n_cols = g.col_cols();
         let wide = batch * n_cols;
         let in_elems = self.in_elems();

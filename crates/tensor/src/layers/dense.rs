@@ -87,7 +87,7 @@ impl Layer for Dense {
         let x = self
             .cached_input
             .take()
-            .expect("Dense::backward called before forward");
+            .expect("Dense::backward called before forward"); // lint:allow(panic) — backward-after-forward is the layer contract
         let batch = grad_out.len() / self.out_dim;
         debug_assert_eq!(batch * self.in_dim, x.len());
 

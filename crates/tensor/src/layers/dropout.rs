@@ -2,6 +2,7 @@
 
 use super::Layer;
 use crate::rng::Prng;
+use crate::rng_tags;
 use crate::scratch::Scratch;
 use crate::tensor::Tensor;
 
@@ -31,7 +32,7 @@ impl Dropout {
         Dropout {
             p,
             training: true,
-            rng: Prng::derive(seed, &[0xD0_D0]),
+            rng: Prng::derive(seed, &[rng_tags::DROPOUT]),
             mask: Vec::new(),
         }
     }

@@ -94,14 +94,14 @@ impl Layer for Flatten {
         let rest = input.len() / batch;
         input
             .reshape_in_place(&[batch, rest])
-            .expect("flatten reshape cannot fail");
+            .expect("flatten reshape cannot fail"); // lint:allow(panic) — element count is conserved
         input
     }
 
     fn backward(&mut self, mut grad_out: Tensor, _scratch: &mut Scratch) -> Tensor {
         grad_out
             .reshape_in_place(&self.cached_shape)
-            .expect("Flatten::backward called before forward");
+            .expect("Flatten::backward called before forward"); // lint:allow(panic) — backward-after-forward is the layer contract
         grad_out
     }
 

@@ -37,6 +37,7 @@ pub mod linalg;
 pub mod net;
 pub mod optim;
 pub mod rng;
+pub mod rng_tags;
 pub mod scratch;
 pub mod tensor;
 pub mod vecops;

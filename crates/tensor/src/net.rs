@@ -149,7 +149,7 @@ impl Sequential {
     pub fn forward_with_features(&mut self, x: &Tensor) -> (Tensor, Tensor) {
         let fi = self
             .feature_layer
-            .expect("forward_with_features: no feature layer marked");
+            .expect("forward_with_features: no feature layer marked"); // lint:allow(panic) — documented precondition: a feature layer is marked
         let Sequential {
             layers, scratch, ..
         } = self;
@@ -161,7 +161,7 @@ impl Sequential {
                 features = Some(a.clone());
             }
         }
-        (a, features.expect("feature layer index in range"))
+        (a, features.expect("feature layer index in range")) // lint:allow(panic) — mark_feature_layer checked the index
     }
 
     /// Backward pass from a logits gradient; accumulates parameter grads and
@@ -189,7 +189,7 @@ impl Sequential {
     ) -> Tensor {
         let fi = self
             .feature_layer
-            .expect("backward_with_feature_grad: no feature layer marked");
+            .expect("backward_with_feature_grad: no feature layer marked"); // lint:allow(panic) — documented precondition: a feature layer is marked
         let Sequential {
             layers, scratch, ..
         } = self;
@@ -197,7 +197,7 @@ impl Sequential {
         for (i, l) in layers.iter_mut().enumerate().rev() {
             if i == fi {
                 g.add_assign(feature_grad)
-                    .expect("feature gradient shape mismatch");
+                    .expect("feature gradient shape mismatch"); // lint:allow(panic) — shapes agree with the matching forward
             }
             g = l.backward(g, scratch);
         }

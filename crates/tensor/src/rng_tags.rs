@@ -1,0 +1,106 @@
+//! Central registry of RNG stream tags.
+//!
+//! Every [`Prng::derive`](crate::rng::Prng::derive) call site across the
+//! workspace names its stream with a *first* tag element drawn from this
+//! registry — never an inline literal. Two derive sites that accidentally
+//! share a first tag draw **correlated** streams (selection re-using the
+//! dispatch stream, a partition re-using the shuffle stream, …), which is
+//! exactly the class of bug that silently breaks the golden fixtures
+//! without failing any unit test. Centralizing the tags makes collisions
+//! impossible to introduce quietly: the [`ALL`] table is asserted
+//! pairwise-distinct by a unit test, and `fedtrip-lint`'s `rng-tags` rule
+//! (R2) rejects any derive call whose first element is not a named
+//! constant as well as any registry collision.
+//!
+//! The registry lives in `fedtrip-tensor` because [`Prng`](crate::rng::Prng)
+//! does and the downstream crates (`fedtrip-data`, `fedtrip-models`) sit
+//! below `fedtrip-core` in the dependency graph; `fedtrip-core` re-exports
+//! it as `fedtrip_core::rng_tags`, the canonical import for engine-level
+//! code.
+//!
+//! Values are frozen: they are part of the reproducibility contract (the
+//! golden fixtures pin the streams they select). Add new tags freely; never
+//! renumber an existing one.
+
+/// Round-participant selection stream (`Sampler::select`), `(SELECT, t)`.
+pub const SELECT: u64 = 0x005E_1EC7; // "SELECT"
+/// Straggler / failure injection stream (`Sampler::apply_failures`),
+/// `(FAILURE, t)`.
+pub const FAILURE: u64 = 0xFA_11; // "FAIL"
+/// Semi-async re-dispatch selection (`Sampler::select_among` /
+/// `Sampler::select_idle`), `(DISPATCH, t)` — distinct from [`SELECT`] so
+/// redispatch never correlates with the synchronous selection stream.
+pub const DISPATCH: u64 = 0xD15_9A7C; // "DISPATCH"
+/// Per-client device-profile derivation (`DeviceProfile::derive`),
+/// `(DEVICE, client)`.
+pub const DEVICE: u64 = 0x0DE_71CE; // "DEVICE"
+/// Model parameter initialization (`ModelKind::build`), `(MODEL_INIT,)`.
+pub const MODEL_INIT: u64 = 0x4D4F_4445_4C00; // "MODEL\0"
+/// Per-epoch mini-batch shuffling (`LocalContext::epoch_rng`),
+/// `(EPOCH_SHUFFLE, round, client, epoch)`.
+pub const EPOCH_SHUFFLE: u64 = 0xE0;
+/// IID partition draw (`Partition`), `(PARTITION_IID, client)`.
+pub const PARTITION_IID: u64 = 0x1D;
+/// Dirichlet label-skew partition draw, `(PARTITION_DIRICHLET, client)`.
+pub const PARTITION_DIRICHLET: u64 = 0xD1;
+/// Orthogonal-cluster partition draw, `(PARTITION_ORTHOGONAL, client)`.
+pub const PARTITION_ORTHOGONAL: u64 = 0x0A;
+/// Synthetic-dataset class prototype blobs, `(SYNTH_PROTO, class, channel)`.
+pub const SYNTH_PROTO: u64 = 0x50_52_4F_54; // "PROT"
+/// Synthetic-dataset per-channel base texture, `(SYNTH_BASE, channel)`.
+pub const SYNTH_BASE: u64 = 0x42_41_53_45; // "BASE"
+/// Synthetic-dataset per-sample pixels, `(SYNTH_SAMPLE, class, id)`.
+pub const SYNTH_SAMPLE: u64 = 0x53_41_4D_50; // "SAMP"
+/// Label-flip sub-stream discriminator — the *fourth* tag element of
+/// `label_of`'s `(SYNTH_SAMPLE, class, id, SYNTH_LABEL_FLIP)` derivation,
+/// registered so its value can never collide into a first-position tag.
+pub const SYNTH_LABEL_FLIP: u64 = 0xF11B; // "FLIP"
+/// Dropout mask stream (`layers::Dropout`), `(DROPOUT,)`.
+pub const DROPOUT: u64 = 0xD0_D0;
+/// t-SNE embedding initialization (`fig2_tsne`), `(TSNE_INIT, client)`.
+pub const TSNE_INIT: u64 = 0xF1_62;
+
+/// Every registered tag, by name — the table the distinctness test and
+/// external auditors (e.g. `lint_gate`'s JSON report) walk.
+pub const ALL: &[(&str, u64)] = &[
+    ("SELECT", SELECT),
+    ("FAILURE", FAILURE),
+    ("DISPATCH", DISPATCH),
+    ("DEVICE", DEVICE),
+    ("MODEL_INIT", MODEL_INIT),
+    ("EPOCH_SHUFFLE", EPOCH_SHUFFLE),
+    ("PARTITION_IID", PARTITION_IID),
+    ("PARTITION_DIRICHLET", PARTITION_DIRICHLET),
+    ("PARTITION_ORTHOGONAL", PARTITION_ORTHOGONAL),
+    ("SYNTH_PROTO", SYNTH_PROTO),
+    ("SYNTH_BASE", SYNTH_BASE),
+    ("SYNTH_SAMPLE", SYNTH_SAMPLE),
+    ("SYNTH_LABEL_FLIP", SYNTH_LABEL_FLIP),
+    ("DROPOUT", DROPOUT),
+    ("TSNE_INIT", TSNE_INIT),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::ALL;
+
+    #[test]
+    fn registry_values_are_pairwise_distinct() {
+        for (i, &(name_a, a)) in ALL.iter().enumerate() {
+            for &(name_b, b) in &ALL[i + 1..] {
+                assert_ne!(
+                    a, b,
+                    "RNG tags {name_a} and {name_b} collide on {a:#x}: \
+                     their derived streams would be correlated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_covers_every_constant() {
+        // the table drives the distinctness check, so a constant missing
+        // from it silently escapes auditing; pin the count
+        assert_eq!(ALL.len(), 15);
+    }
+}

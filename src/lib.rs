@@ -14,6 +14,8 @@
 //! See the workspace `README.md` for the architecture overview and
 //! `DESIGN.md` for the paper-to-module map.
 
+#![forbid(unsafe_code)]
+
 pub use fedtrip_core as core;
 pub use fedtrip_data as data;
 pub use fedtrip_metrics as metrics;
