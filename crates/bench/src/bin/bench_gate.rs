@@ -2,8 +2,10 @@
 //!
 //! Runs criterion-lite versions of the round and local-step benches, a
 //! hierarchical-tier round (`edge_merge_ns`: a K = 32 cohort sharded over
-//! 8 edge aggregators, then the parallel root merge), plus a
-//! population-scale smoke (`N ∈ {1k, 10k, 100k}`, `K = 4`), writes the
+//! 8 edge aggregators, then the parallel root merge), an
+//! availability-scenario round (`scenario_round_ns`: diurnal + churn +
+//! Oort selection on a 10k federation — the filtered-selection hot path),
+//! plus a population-scale smoke (`N ∈ {1k, 10k, 100k}`, `K = 4`), writes the
 //! measurements to `BENCH_population.json` (a CI artifact), and **fails**
 //! when
 //!
@@ -112,6 +114,24 @@ fn edge_merge_metric() -> u64 {
     })
 }
 
+/// Criterion-lite availability-scenario round: diurnal availability,
+/// churn, and Oort utility-aware selection on a 10k-client federation —
+/// the filtered-selection hot path (rejection sampling against the
+/// availability trace plus the utility ranking) that `scenario` sweeps.
+fn scenario_round_metric() -> u64 {
+    let mut cfg = population_cfg(10_000, SWEEP_K, 1_000_000, 17);
+    cfg.selection = fedtrip_core::engine::SelectionStrategy::Oort;
+    cfg.availability_period = 24;
+    cfg.availability_on_fraction = 0.5;
+    cfg.churn_join_window = 100;
+    cfg.churn_residency = 200;
+    cfg.device_het = 4.0;
+    let mut sim = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
+    time_min(7, || {
+        sim.run_round();
+    })
+}
+
 /// Criterion-lite `bench_local_step`: one client's local round on the CNN
 /// (the Appendix-A attach-cost path).
 fn local_step_metric(kind: AlgorithmKind) -> u64 {
@@ -209,6 +229,7 @@ fn remeasure(name: &str) -> Option<u64> {
         "local_step_fedavg_ns" => local_step_metric(AlgorithmKind::FedAvg),
         "local_step_fedtrip_ns" => local_step_metric(AlgorithmKind::FedTrip),
         "edge_merge_ns" => edge_merge_metric(),
+        "scenario_round_ns" => scenario_round_metric(),
         "gemm_gflops_small" => gemm_mflops(64),
         "gemm_gflops_large" => gemm_mflops(256),
         "conv_fwd_ns" => conv_fwd_metric(),
@@ -263,6 +284,9 @@ fn run() -> Result<bool, String> {
     let ns = edge_merge_metric();
     println!("  edge_merge_ns = {ns}");
     metrics.insert("edge_merge_ns".into(), ns);
+    let ns = scenario_round_metric();
+    println!("  scenario_round_ns = {ns}");
+    metrics.insert("scenario_round_ns".into(), ns);
     for (name, n) in [("gemm_gflops_small", 64usize), ("gemm_gflops_large", 256)] {
         let mflops = gemm_mflops(n);
         println!("  {name} = {mflops} MFLOP/s ({n}^3)");

@@ -16,6 +16,11 @@
 //! bytes, visible in the `up-MB/rnd` column. `--edges E` shards clients
 //! across `E` edge aggregators with per-edge clocks and a parallel root
 //! merge — the knob that makes million-client federations tractable.
+//! `--availability diurnal[:PERIOD[:FRAC]]` gives every client a
+//! seed-derived on/off day, `--churn JOIN[:RESIDENCY]` staggers joins and
+//! departures across the run, `--deadline SECS` drops synchronous
+//! stragglers at the reporting deadline, and `--selection oort` switches
+//! to utility-aware (loss × speed) client selection.
 
 use fedtrip_core::algorithms::AlgorithmKind;
 use fedtrip_core::checkpoint::Checkpoint;
@@ -35,12 +40,55 @@ fn die(msg: &str) -> ! {
          [--model mlp|cnn|alexnet|cifarcnn] [--het iid|dirA|orthK] \
          [--clients N] [--per-round K] [--rounds T] [--epochs E] [--mu X] \
          [--seed S] [--scale smoke|default|paper] \
-         [--selection uniform|roundrobin|weighted] [--failure-prob P] \
+         [--selection uniform|roundrobin|weighted|oort] [--failure-prob P] \
          [--lr-schedule const|step:E:F|cosine:T:M] [--mode sync|semiasync] \
          [--device-het S] [--buffer B] [--compress none|q8|q4|topk:F] \
-         [--error-feedback] [--edges E] [--checkpoint FILE] [--resume FILE]"
+         [--error-feedback] [--edges E] \
+         [--availability always|diurnal[:PERIOD[:FRAC]]] [--churn JOIN[:RESIDENCY]] \
+         [--deadline SECS] [--checkpoint FILE] [--resume FILE]"
     );
     std::process::exit(2);
+}
+
+/// Parse `always` / `diurnal[:PERIOD[:FRAC]]` into
+/// `(availability_period, availability_on_fraction)`; the diurnal
+/// defaults are a 24-round day with a 50% duty cycle.
+fn parse_availability(s: &str) -> Option<(usize, f32)> {
+    let l = s.to_ascii_lowercase();
+    if l == "always" || l == "always-on" {
+        return Some((0, 0.5));
+    }
+    let mut parts = l.split(':');
+    if parts.next()? != "diurnal" {
+        return None;
+    }
+    let period: usize = match parts.next() {
+        Some(p) => p.parse().ok()?,
+        None => 24,
+    };
+    let frac: f32 = match parts.next() {
+        Some(f) => f.parse().ok()?,
+        None => 0.5,
+    };
+    if parts.next().is_some() || period == 0 || frac <= 0.0 || frac > 1.0 {
+        return None;
+    }
+    Some((period, frac))
+}
+
+/// Parse `JOIN[:RESIDENCY]` into `(churn_join_window, churn_residency)`;
+/// residency defaults to 16 rounds.
+fn parse_churn(s: &str) -> Option<(usize, usize)> {
+    let mut parts = s.split(':');
+    let join: usize = parts.next()?.parse().ok()?;
+    let residency: usize = match parts.next() {
+        Some(r) => r.parse().ok()?,
+        None => 16,
+    };
+    if parts.next().is_some() || residency == 0 {
+        return None;
+    }
+    Some((join, residency))
 }
 
 /// Parse `const` / `step:EVERY:FACTOR` / `cosine:TOTAL:MIN_LR`.
@@ -78,6 +126,9 @@ struct ConfigOverrides {
     compression: Option<CompressionKind>,
     error_feedback: bool,
     edges: Option<usize>,
+    availability: Option<(usize, f32)>,
+    churn: Option<(usize, usize)>,
+    deadline: Option<f32>,
 }
 
 impl ConfigOverrides {
@@ -91,6 +142,9 @@ impl ConfigOverrides {
             || self.compression.is_some()
             || self.error_feedback
             || self.edges.is_some()
+            || self.availability.is_some()
+            || self.churn.is_some()
+            || self.deadline.is_some()
     }
 }
 
@@ -215,6 +269,20 @@ fn main() {
                 }
                 overrides.edges = Some(e);
             }
+            "--availability" => {
+                overrides.availability =
+                    Some(parse_availability(val()).unwrap_or_else(|| die("bad --availability")))
+            }
+            "--churn" => {
+                overrides.churn = Some(parse_churn(val()).unwrap_or_else(|| die("bad --churn")))
+            }
+            "--deadline" => {
+                let d: f32 = val().parse().unwrap_or_else(|_| die("bad --deadline"));
+                if !d.is_finite() || d < 0.0 {
+                    die("--deadline must be a finite number of virtual seconds >= 0");
+                }
+                overrides.deadline = Some(d);
+            }
             "--checkpoint" => checkpoint = Some(PathBuf::from(val())),
             "--resume" => resume = Some(PathBuf::from(val())),
             other => die(&format!("unknown flag {other}")),
@@ -225,7 +293,7 @@ fn main() {
     let mut sim = match &resume {
         Some(path) => {
             if overrides.any() {
-                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback/--edges) cannot be combined with --resume; the checkpoint pins them");
+                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback/--edges/--availability/--churn/--deadline) cannot be combined with --resume; the checkpoint pins them");
             }
             let ckpt = Checkpoint::load(path).unwrap_or_else(|e| die(&format!("resume: {e}")));
             eprintln!(
@@ -279,8 +347,37 @@ fn main() {
             if let Some(e) = overrides.edges {
                 cfg.edges = e;
             }
+            if let Some((period, frac)) = overrides.availability {
+                cfg.availability_period = period;
+                cfg.availability_on_fraction = frac;
+            }
+            if let Some((join, residency)) = overrides.churn {
+                cfg.churn_join_window = join;
+                cfg.churn_residency = residency;
+            }
+            if let Some(d) = overrides.deadline {
+                cfg.deadline_secs = d;
+            }
+            let avail = if cfg.availability_period > 0 {
+                format!(
+                    " | avail diurnal:{}:{:.2}",
+                    cfg.availability_period, cfg.availability_on_fraction
+                )
+            } else {
+                String::new()
+            };
+            let churn = if cfg.churn_join_window > 0 {
+                format!(" | churn {}:{}", cfg.churn_join_window, cfg.churn_residency)
+            } else {
+                String::new()
+            };
+            let deadline = if cfg.deadline_secs > 0.0 {
+                format!(" | deadline {:.1}s", cfg.deadline_secs)
+            } else {
+                String::new()
+            };
             println!(
-                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{} | edges {}",
+                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{} | edges {}{avail}{churn}{deadline}",
                 spec.algorithm.name(),
                 spec.model.name(),
                 spec.dataset.name(),

@@ -20,12 +20,21 @@ use std::path::Path;
 /// when the compression subsystem added the codec/error-feedback config
 /// fields and per-client error-feedback residuals, to 4 when client
 /// states went **sparse** (a v4 snapshot stores `(client, state)` entries
-/// only for clients that have participated), and to 5 when the
-/// hierarchical aggregation tier added the `edges` configuration knob and
-/// the per-edge clock vector. v4 snapshots migrate as the single-edge
-/// federation they were (`edges = 1`, one edge clock colocated with the
-/// root), which is behavior-preserving — the flat fold *is* the one-edge
-/// tree — so a migrated resume stays bit-identical (pinned by a test).
+/// only for clients that have participated), to 5 when the hierarchical
+/// aggregation tier added the `edges` configuration knob and the per-edge
+/// clock vector, and to 6 when the availability layer added the
+/// availability/churn/deadline configuration knobs and the server-side
+/// utility table that utility-aware (Oort) selection scores from. v5
+/// snapshots migrate as the always-on federation they were (availability
+/// knobs zeroed, empty utility table); because the always-on model with a
+/// non-Oort strategy takes the exact legacy selection path — and v5
+/// predates the Oort variant — a migrated resume stays bit-identical
+/// (pinned by a test). No availability *cursor* is stored beyond the
+/// round counter: traces are pure functions of `(seed, client, round)`.
+/// v4 snapshots migrate as the single-edge federation they were
+/// (`edges = 1`, one edge clock colocated with the root), which is
+/// behavior-preserving — the flat fold *is* the one-edge tree — so a
+/// migrated resume stays bit-identical (pinned by a test).
 /// v3 snapshots (dense state vectors) chain through the v4 migration:
 /// dense entries indistinguishable from "never participated" are dropped,
 /// which keeps a migrated *synchronous* resume bit-identical. A semi-async
@@ -38,7 +47,7 @@ use std::path::Path;
 /// (the version is checked *before* full deserialization, so a foreign
 /// snapshot reports its version instead of a confusing missing-field
 /// error).
-pub const CHECKPOINT_VERSION: u32 = 5;
+pub const CHECKPOINT_VERSION: u32 = 6;
 
 /// One sparse client-state entry of a v4+ snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -47,6 +56,19 @@ pub struct ClientEntry {
     pub client: usize,
     /// The client's persistent state.
     pub state: ClientState,
+}
+
+/// One utility-table entry of a v6+ snapshot: the most recent mean
+/// training loss reported by a client, the statistical-utility half of
+/// the Oort selection score. Stored sparse and in ascending client order
+/// (the table is a `BTreeMap` server-side), so serialization is
+/// deterministic.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UtilityEntry {
+    /// Client id within the federation.
+    pub client: usize,
+    /// Last observed mean training loss for that client.
+    pub loss: f64,
 }
 
 /// A serialized simulation snapshot.
@@ -81,6 +103,13 @@ pub struct Checkpoint {
     /// Scheduler position: fold counter plus in-flight / buffered jobs
     /// (empty for the stateless synchronous scheduler).
     pub scheduler: SchedulerState,
+    /// Server-side utility table — last observed mean loss per client,
+    /// sparse, ascending client order. Selection under the Oort strategy
+    /// depends on it, so it must survive the round trip for a resumed run
+    /// to stay bit-identical. The availability traces themselves need no
+    /// snapshot state: they are pure functions of `(seed, client, round)`,
+    /// so `round` above is the whole availability cursor.
+    pub utility: Vec<UtilityEntry>,
 }
 
 /// The pre-hierarchical-tier configuration layout (no `edges` field),
@@ -115,10 +144,10 @@ pub struct SimulationConfigV4 {
     pub error_feedback: bool,
 }
 
-impl From<SimulationConfigV4> for SimulationConfig {
-    /// A legacy configuration is the flat single-edge federation.
-    fn from(v4: SimulationConfigV4) -> SimulationConfig {
-        SimulationConfig {
+impl From<SimulationConfigV4> for SimulationConfigV5 {
+    /// A pre-hierarchical configuration is the flat single-edge federation.
+    fn from(v4: SimulationConfigV4) -> SimulationConfigV5 {
+        SimulationConfigV5 {
             dataset: v4.dataset,
             model: v4.model,
             heterogeneity: v4.heterogeneity,
@@ -148,8 +177,9 @@ impl From<SimulationConfigV4> for SimulationConfig {
 }
 
 impl From<SimulationConfig> for SimulationConfigV4 {
-    /// Project a current configuration onto the legacy layout (drops the
-    /// `edges` field) — used by tests that author legacy fixtures.
+    /// Project a current configuration onto the v3/v4 layout (drops the
+    /// `edges` field and the availability/churn/deadline knobs) — used by
+    /// tests that author legacy fixtures.
     fn from(cfg: SimulationConfig) -> SimulationConfigV4 {
         SimulationConfigV4 {
             dataset: cfg.dataset,
@@ -175,6 +205,112 @@ impl From<SimulationConfig> for SimulationConfigV4 {
             staleness_exponent: cfg.staleness_exponent,
             compression: cfg.compression,
             error_feedback: cfg.error_feedback,
+        }
+    }
+}
+
+/// The pre-availability-layer configuration layout (has `edges`, lacks
+/// the availability/churn/deadline knobs), kept for v5 snapshot
+/// migration. `Serialize` stays derived so tests can author legacy
+/// fixtures.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct SimulationConfigV5 {
+    pub dataset: fedtrip_data::synth::DatasetKind,
+    pub model: fedtrip_models::ModelKind,
+    pub heterogeneity: fedtrip_data::partition::HeterogeneityKind,
+    pub n_clients: usize,
+    pub clients_per_round: usize,
+    pub rounds: usize,
+    pub local_epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub momentum: f32,
+    pub seed: u64,
+    pub test_per_class: usize,
+    pub client_samples_override: Option<usize>,
+    pub eval_every: usize,
+    pub selection: crate::runtime::SelectionStrategy,
+    pub failure_prob: f32,
+    pub lr_schedule: fedtrip_tensor::optim::LrSchedule,
+    pub mode: crate::runtime::RunMode,
+    pub device_het: f32,
+    pub async_buffer: usize,
+    pub staleness_exponent: f32,
+    pub compression: crate::compression::CompressionKind,
+    pub error_feedback: bool,
+    pub edges: usize,
+}
+
+impl From<SimulationConfigV5> for SimulationConfig {
+    /// A legacy configuration describes an always-on federation: no
+    /// diurnal cycle (`availability_period = 0`), no churn, no deadline.
+    fn from(v5: SimulationConfigV5) -> SimulationConfig {
+        SimulationConfig {
+            dataset: v5.dataset,
+            model: v5.model,
+            heterogeneity: v5.heterogeneity,
+            n_clients: v5.n_clients,
+            clients_per_round: v5.clients_per_round,
+            rounds: v5.rounds,
+            local_epochs: v5.local_epochs,
+            batch_size: v5.batch_size,
+            lr: v5.lr,
+            momentum: v5.momentum,
+            seed: v5.seed,
+            test_per_class: v5.test_per_class,
+            client_samples_override: v5.client_samples_override,
+            eval_every: v5.eval_every,
+            selection: v5.selection,
+            failure_prob: v5.failure_prob,
+            lr_schedule: v5.lr_schedule,
+            mode: v5.mode,
+            device_het: v5.device_het,
+            async_buffer: v5.async_buffer,
+            staleness_exponent: v5.staleness_exponent,
+            compression: v5.compression,
+            error_feedback: v5.error_feedback,
+            edges: v5.edges,
+            availability_period: 0,
+            availability_on_fraction: 0.5,
+            churn_join_window: 0,
+            churn_residency: 0,
+            deadline_secs: 0.0,
+        }
+    }
+}
+
+impl From<SimulationConfig> for SimulationConfigV5 {
+    /// Project a current configuration onto the v5 layout (drops the
+    /// availability/churn/deadline knobs) — used by tests that author
+    /// legacy fixtures.
+    fn from(cfg: SimulationConfig) -> SimulationConfigV5 {
+        SimulationConfigV5 {
+            dataset: cfg.dataset,
+            model: cfg.model,
+            heterogeneity: cfg.heterogeneity,
+            n_clients: cfg.n_clients,
+            clients_per_round: cfg.clients_per_round,
+            rounds: cfg.rounds,
+            local_epochs: cfg.local_epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            seed: cfg.seed,
+            test_per_class: cfg.test_per_class,
+            client_samples_override: cfg.client_samples_override,
+            eval_every: cfg.eval_every,
+            selection: cfg.selection,
+            failure_prob: cfg.failure_prob,
+            lr_schedule: cfg.lr_schedule,
+            mode: cfg.mode,
+            device_het: cfg.device_het,
+            async_buffer: cfg.async_buffer,
+            staleness_exponent: cfg.staleness_exponent,
+            compression: cfg.compression,
+            error_feedback: cfg.error_feedback,
+            edges: cfg.edges,
         }
     }
 }
@@ -214,7 +350,65 @@ impl CheckpointV4 {
     /// had no edge tier, which in v5 terms is `edges = 1` with the single
     /// edge clock colocated with the root. The one-edge tree performs the
     /// exact fold the flat engine did, so a migrated resume is
-    /// bit-identical (pinned by a test).
+    /// bit-identical (pinned by a test). Chain a further `.migrate()` to
+    /// reach the current layout.
+    pub fn migrate(self) -> CheckpointV5 {
+        CheckpointV5 {
+            version: 5,
+            config: self.config.into(),
+            algorithm: self.algorithm,
+            hyper: self.hyper,
+            round: self.round,
+            global: self.global,
+            states: self.states,
+            server_state: self.server_state,
+            records: self.records,
+            clock: self.clock,
+            edge_clocks: vec![self.clock],
+            scheduler: self.scheduler,
+        }
+    }
+}
+
+/// The v5 snapshot layout (edge tier, but no availability layer), kept
+/// for migration. `Serialize` stays derived so tests can author v5
+/// fixtures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+pub struct CheckpointV5 {
+    /// Snapshot format version (always 5).
+    pub version: u32,
+    /// Engine configuration (legacy layout, no availability knobs).
+    pub config: SimulationConfigV5,
+    /// Which method was running.
+    pub algorithm: AlgorithmKind,
+    /// Its hyper-parameters.
+    pub hyper: HyperParams,
+    /// Rounds completed.
+    pub round: usize,
+    /// Global model parameters.
+    pub global: Vec<f32>,
+    /// Sparse per-client state.
+    pub states: Vec<ClientEntry>,
+    /// Server-side algorithm state.
+    pub server_state: Vec<Vec<f32>>,
+    /// Round records so far.
+    pub records: Vec<RoundRecord>,
+    /// Root virtual-clock instant at capture.
+    pub clock: f64,
+    /// Per-edge virtual-clock instants at capture.
+    pub edge_clocks: Vec<f64>,
+    /// Scheduler position.
+    pub scheduler: SchedulerState,
+}
+
+impl CheckpointV5 {
+    /// Migrate a v5 snapshot to the v6 layout: the federation it describes
+    /// was always-on with no utility history, so the availability knobs
+    /// zero out and the utility table starts empty. Always-on with a
+    /// legacy (non-Oort) strategy takes the exact pre-availability
+    /// selection path, so a migrated resume is bit-identical (pinned by a
+    /// test).
     pub fn migrate(self) -> Checkpoint {
         Checkpoint {
             version: CHECKPOINT_VERSION,
@@ -227,8 +421,9 @@ impl CheckpointV4 {
             server_state: self.server_state,
             records: self.records,
             clock: self.clock,
-            edge_clocks: vec![self.clock],
+            edge_clocks: self.edge_clocks,
             scheduler: self.scheduler,
+            utility: Vec::new(),
         }
     }
 }
@@ -267,8 +462,8 @@ impl CheckpointV3 {
     /// (indistinguishable from never-participated) are dropped; everything
     /// else carries over unchanged, so a resumed synchronous run is
     /// bit-identical (see [`CHECKPOINT_VERSION`] for the semi-async
-    /// redispatch caveat). Chain `.migrate().migrate()` to reach the
-    /// current layout.
+    /// redispatch caveat). Chain `.migrate().migrate().migrate()` to
+    /// reach the current layout.
     pub fn migrate(self) -> CheckpointV4 {
         CheckpointV4 {
             version: 4,
@@ -324,6 +519,12 @@ impl Checkpoint {
             clock: sim.virtual_time(),
             edge_clocks: sim.edge_clock_times(),
             scheduler: sim.scheduler_state(),
+            utility: sim
+                .utility_table()
+                .export()
+                .into_iter()
+                .map(|(client, loss)| UtilityEntry { client, loss })
+                .collect(),
         }
     }
 
@@ -363,6 +564,16 @@ impl Checkpoint {
                 });
             }
         }
+        // utility entries carry client ids too: reject out-of-range ones
+        // here so a shrunken-config snapshot errors cleanly
+        for e in &self.utility {
+            if e.client >= self.config.n_clients {
+                return Err(RestoreError::InvalidClientStates(format!(
+                    "utility entry for client {} out of range for a federation of {}",
+                    e.client, self.config.n_clients
+                )));
+            }
+        }
         let alg = self.algorithm.build(&self.hyper);
         let mut sim = Simulation::new(self.config, alg);
         // order matters: Simulation::new ran on_init, which sized-and-zeroed
@@ -375,6 +586,7 @@ impl Checkpoint {
             self.records.clone(),
         )?;
         sim.restore_runtime(self.clock, &self.edge_clocks, self.scheduler.clone())?;
+        sim.restore_utility(self.utility.iter().map(|e| (e.client, e.loss)));
         Ok(sim)
     }
 
@@ -389,8 +601,10 @@ impl Checkpoint {
     }
 
     /// Read a snapshot back, migrating the previous formats transparently:
-    /// v4 (no edge tier) resumes as the single-edge federation it was, v3
-    /// (dense states) additionally drops vacant entries.
+    /// v5 (no availability layer) resumes as the always-on federation it
+    /// was with an empty utility table, v4 (no edge tier) additionally
+    /// resumes as the single-edge federation it was, v3 (dense states)
+    /// additionally drops vacant entries.
     ///
     /// Every failure — unreadable file, malformed JSON, foreign `version`
     /// (including pre-versioning files, which lack the field entirely),
@@ -416,18 +630,23 @@ impl Checkpoint {
                 })?;
                 Ok(ckpt)
             }
+            Some(5) => {
+                let legacy: CheckpointV5 = serde::Deserialize::from_value(&value)
+                    .map_err(|e| snapshot_err("snapshot does not fit the v5 layout", e))?;
+                Ok(legacy.migrate())
+            }
             Some(4) => {
                 let legacy: CheckpointV4 = serde::Deserialize::from_value(&value)
                     .map_err(|e| snapshot_err("snapshot does not fit the v4 layout", e))?;
-                Ok(legacy.migrate())
+                Ok(legacy.migrate().migrate())
             }
             Some(3) => {
                 let legacy: CheckpointV3 = serde::Deserialize::from_value(&value)
                     .map_err(|e| snapshot_err("snapshot does not fit the v3 layout", e))?;
-                Ok(legacy.migrate().migrate())
+                Ok(legacy.migrate().migrate().migrate())
             }
             other => Err(RestoreError::Snapshot(format!(
-                "checkpoint format version {} unsupported (expected {}, 4, or 3)",
+                "checkpoint format version {} unsupported (expected {}, 5, 4, or 3)",
                 other
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "<missing>".into()),
@@ -532,6 +751,63 @@ mod tests {
         c.mode = crate::runtime::RunMode::SemiAsync;
         c.device_het = 4.0;
         resume_equals_straight_cfg(c, AlgorithmKind::Scaffold);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_under_availability_churn_and_oort() {
+        // the utility table feeds Oort selection, so it must survive the
+        // round trip for the resumed half to pick the same clients; the
+        // availability traces themselves are pure functions of
+        // (seed, client, round) and need no snapshot state
+        let mut c = cfg(50);
+        c.selection = crate::runtime::SelectionStrategy::Oort;
+        c.availability_period = 6;
+        c.availability_on_fraction = 0.5;
+        c.churn_join_window = 4;
+        c.churn_residency = 8;
+        c.device_het = 4.0;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedTrip);
+        // deadline dropout charges the barrier differently: resume must
+        // reproduce the kept/dropped split exactly
+        let mut c = cfg(51);
+        c.deadline_secs = 30.0;
+        c.device_het = 4.0;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedAvg);
+    }
+
+    #[test]
+    fn checkpoint_carries_utility_table() {
+        let hyper = HyperParams::default();
+        let mut c = cfg(52);
+        c.selection = crate::runtime::SelectionStrategy::Oort;
+        let mut sim = Simulation::new(c, AlgorithmKind::FedAvg.build(&hyper));
+        for _ in 0..3 {
+            sim.run_round();
+        }
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        assert!(!ckpt.utility.is_empty(), "no utility captured");
+        // ascending client order (deterministic serialization)
+        assert!(ckpt.utility.windows(2).all(|w| w[0].client < w[1].client));
+        let restored = ckpt.restore().expect("self-consistent checkpoint");
+        let got = restored.utility_table().export();
+        let want: Vec<(usize, f64)> = ckpt.utility.iter().map(|e| (e.client, e.loss)).collect();
+        assert_eq!(got, want, "utility table diverged across the round trip");
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_utility_entries() {
+        let hyper = HyperParams::default();
+        let mut c = cfg(53);
+        c.selection = crate::runtime::SelectionStrategy::Oort;
+        let mut sim = Simulation::new(c, AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let mut ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        ckpt.utility.push(UtilityEntry {
+            client: ckpt.config.n_clients,
+            loss: 1.0,
+        });
+        let err = ckpt.restore().map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("utility entry"), "{err}");
     }
 
     #[test]
@@ -665,19 +941,19 @@ mod tests {
         for _ in 0..4 {
             first.run_round();
         }
-        let v5 = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let cur = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
         let legacy = CheckpointV4 {
             version: 4,
-            config: v5.config.into(),
-            algorithm: v5.algorithm,
-            hyper: v5.hyper,
-            round: v5.round,
-            global: v5.global.clone(),
-            states: v5.states.clone(),
-            server_state: v5.server_state.clone(),
-            records: v5.records.clone(),
-            clock: v5.clock,
-            scheduler: v5.scheduler.clone(),
+            config: cur.config.into(),
+            algorithm: cur.algorithm,
+            hyper: cur.hyper,
+            round: cur.round,
+            global: cur.global.clone(),
+            states: cur.states.clone(),
+            server_state: cur.server_state.clone(),
+            records: cur.records.clone(),
+            clock: cur.clock,
+            scheduler: cur.scheduler.clone(),
         };
         let path = std::env::temp_dir().join("fedtrip_ckpt_v4_migration_test.json");
         fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
@@ -685,13 +961,61 @@ mod tests {
         let migrated = Checkpoint::load(&path).unwrap();
         assert_eq!(migrated.version, CHECKPOINT_VERSION);
         assert_eq!(migrated.config.edges, 1);
-        assert_eq!(migrated.edge_clocks, vec![v5.clock]);
+        assert_eq!(migrated.config.availability_period, 0, "always-on");
+        assert_eq!(migrated.edge_clocks, vec![cur.clock]);
+        assert!(migrated.utility.is_empty());
         let mut resumed = migrated.restore().expect("migrated checkpoint restores");
         resumed.run();
         assert_eq!(
             straight.global_params(),
             resumed.global_params(),
             "v4-migrated resume diverged from the straight run"
+        );
+    }
+
+    #[test]
+    fn v5_snapshot_migrates_as_always_on_and_resumes_bit_identically() {
+        let hyper = HyperParams::default();
+        let config = cfg(49);
+        // straight 8-round run as ground truth
+        let mut straight = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        straight.run();
+
+        // 4 rounds, then author a v5 (pre-availability) snapshot by hand
+        let mut first = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        for _ in 0..4 {
+            first.run_round();
+        }
+        let cur = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let legacy = CheckpointV5 {
+            version: 5,
+            config: cur.config.into(),
+            algorithm: cur.algorithm,
+            hyper: cur.hyper,
+            round: cur.round,
+            global: cur.global.clone(),
+            states: cur.states.clone(),
+            server_state: cur.server_state.clone(),
+            records: cur.records.clone(),
+            clock: cur.clock,
+            edge_clocks: cur.edge_clocks.clone(),
+            scheduler: cur.scheduler.clone(),
+        };
+        let path = std::env::temp_dir().join("fedtrip_ckpt_v5_migration_test.json");
+        fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
+
+        let migrated = Checkpoint::load(&path).unwrap();
+        assert_eq!(migrated.version, CHECKPOINT_VERSION);
+        assert_eq!(migrated.config.availability_period, 0, "always-on");
+        assert_eq!(migrated.config.churn_join_window, 0);
+        assert_eq!(migrated.config.deadline_secs, 0.0);
+        assert!(migrated.utility.is_empty());
+        let mut resumed = migrated.restore().expect("migrated checkpoint restores");
+        resumed.run();
+        assert_eq!(
+            straight.global_params(),
+            resumed.global_params(),
+            "v5-migrated resume diverged from the straight run"
         );
     }
 
@@ -708,22 +1032,22 @@ mod tests {
         for _ in 0..4 {
             first.run_round();
         }
-        let v5 = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let cur = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
         let dense: Vec<ClientState> = (0..config.n_clients)
             .map(|c| first.client_states().get(c).cloned().unwrap_or_default())
             .collect();
         let legacy = CheckpointV3 {
             version: 3,
-            config: v5.config.into(),
-            algorithm: v5.algorithm,
-            hyper: v5.hyper,
-            round: v5.round,
-            global: v5.global.clone(),
+            config: cur.config.into(),
+            algorithm: cur.algorithm,
+            hyper: cur.hyper,
+            round: cur.round,
+            global: cur.global.clone(),
             states: dense,
-            server_state: v5.server_state.clone(),
-            records: v5.records.clone(),
-            clock: v5.clock,
-            scheduler: v5.scheduler.clone(),
+            server_state: cur.server_state.clone(),
+            records: cur.records.clone(),
+            clock: cur.clock,
+            scheduler: cur.scheduler.clone(),
         };
         let path = std::env::temp_dir().join("fedtrip_ckpt_v3_migration_test.json");
         fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();

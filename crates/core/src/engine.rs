@@ -25,8 +25,8 @@ use crate::compression::{CompressionKind, Compressor};
 use crate::costs::CostModel;
 use crate::runtime::ClientExecutor;
 use crate::runtime::{
-    ClientSizes, DeviceProfiles, EdgeTier, RuntimeCtx, Sampler, Scheduler, SchedulerState,
-    SemiAsync, StepOutput, Synchronous, VirtualClock,
+    AvailabilityModel, ClientSizes, DeviceProfiles, EdgeTier, RuntimeCtx, Sampler, Scheduler,
+    SchedulerState, SemiAsync, StepOutput, Synchronous, UtilityTable, VirtualClock,
 };
 pub use crate::runtime::{RunMode, SelectionStrategy};
 use fedtrip_data::partition::{HeterogeneityKind, Partition};
@@ -35,6 +35,7 @@ use fedtrip_models::ModelKind;
 use fedtrip_tensor::optim::LrSchedule;
 use fedtrip_tensor::{Sequential, Tensor};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Full configuration of one federated simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -106,6 +107,29 @@ pub struct SimulationConfig {
     /// default) colocates the single edge with the root — the flat fold,
     /// bit-identical to the pre-tier engine.
     pub edges: usize,
+    /// Diurnal availability cycle length in rounds (`0` = always-on,
+    /// bit-identical to the pre-availability engine). Each client draws a
+    /// seed-derived phase and is reachable on
+    /// `round(availability_on_fraction × period)` rounds of every cycle —
+    /// see [`crate::runtime::AvailabilityModel`].
+    pub availability_period: usize,
+    /// Fraction of each availability cycle a client is reachable; must be
+    /// in `(0, 1]` when the diurnal trace is on (ignored otherwise).
+    pub availability_on_fraction: f32,
+    /// Churn join window in rounds (`0` = no churn): each client joins at
+    /// a seed-derived round in `[0, join_window]` and later leaves for
+    /// good, its state evicted from the sparse store.
+    pub churn_join_window: usize,
+    /// Minimum churn residency in rounds — a joined client stays for a
+    /// seed-derived lifetime in `[residency, 2·residency)`. Must be
+    /// positive when churn is on.
+    pub churn_residency: usize,
+    /// Synchronous reporting deadline in virtual seconds (`0` = off):
+    /// clients whose round duration would exceed it are dropped from the
+    /// fold and the round barrier is capped at the deadline. Ignored in
+    /// semi-async mode (buffered aggregation already tolerates
+    /// stragglers).
+    pub deadline_secs: f32,
 }
 
 impl Default for SimulationConfig {
@@ -135,6 +159,11 @@ impl Default for SimulationConfig {
             compression: CompressionKind::None,
             error_feedback: false,
             edges: 1,
+            availability_period: 0,
+            availability_on_fraction: 0.5,
+            churn_join_window: 0,
+            churn_residency: 0,
+            deadline_secs: 0.0,
         }
     }
 }
@@ -178,7 +207,31 @@ impl SimulationConfig {
         if self.edges == 0 {
             return Err("need at least one edge aggregator".into());
         }
+        if self.availability_period > 0
+            && !(self.availability_on_fraction > 0.0 && self.availability_on_fraction <= 1.0)
+        {
+            return Err("availability_on_fraction must be in (0, 1]".into());
+        }
+        if self.churn_join_window > 0 && self.churn_residency == 0 {
+            return Err("churn requires a positive residency".into());
+        }
+        if self.deadline_secs.is_nan() || self.deadline_secs < 0.0 {
+            return Err("deadline_secs must be non-negative".into());
+        }
         Ok(())
+    }
+
+    /// The availability model this configuration describes (always-on when
+    /// both the diurnal trace and churn are disabled).
+    pub fn availability_model(&self) -> AvailabilityModel {
+        AvailabilityModel::new(
+            self.seed,
+            self.n_clients,
+            self.availability_period,
+            self.availability_on_fraction,
+            self.churn_join_window,
+            self.churn_residency,
+        )
     }
 }
 
@@ -303,6 +356,13 @@ pub struct Simulation {
     edges: EdgeTier,
     scheduler: Box<dyn Scheduler>,
     compressor: Box<dyn Compressor>,
+    /// Per-client statistical utility (most recent observed mean loss),
+    /// feeding the Oort selection strategy; checkpointed in v6.
+    utility: UtilityTable,
+    /// Per-client fold counts (diagnostic for the participation-Gini
+    /// metric; bounded by the distinct participants, not `N`; not
+    /// checkpointed).
+    participation: BTreeMap<usize, u64>,
 }
 
 impl Simulation {
@@ -328,6 +388,10 @@ impl Simulation {
         assert!(cfg.eval_every > 0, "eval_every must be positive");
         assert!(cfg.device_het >= 1.0, "device_het must be >= 1");
         assert!(cfg.edges > 0, "need at least one edge aggregator");
+        assert!(
+            cfg.deadline_secs >= 0.0,
+            "deadline_secs must be non-negative"
+        );
 
         let dataset = SyntheticVision::new(cfg.dataset, cfg.seed);
         let mut spec = *dataset.spec();
@@ -347,6 +411,7 @@ impl Simulation {
         let global = template.params_flat();
         algorithm.on_init(cfg.n_clients, global.len());
         let (test_x, test_y) = dataset.test_set(cfg.test_per_class);
+        let profiles = DeviceProfiles::new(cfg.seed, cfg.n_clients, cfg.device_het as f64);
         let sampler = Sampler::new(
             cfg.seed,
             cfg.clients_per_round,
@@ -356,8 +421,9 @@ impl Simulation {
                 n_clients: cfg.n_clients,
                 samples: partition.client_samples(),
             },
-        );
-        let profiles = DeviceProfiles::new(cfg.seed, cfg.n_clients, cfg.device_het as f64);
+        )
+        .with_availability(cfg.availability_model())
+        .with_profiles(profiles);
         let scheduler: Box<dyn Scheduler> = match cfg.mode {
             RunMode::Sync => Box::new(Synchronous),
             RunMode::SemiAsync => Box::new(SemiAsync::new(
@@ -385,6 +451,8 @@ impl Simulation {
             edges: EdgeTier::new(cfg.edges),
             scheduler,
             compressor: cfg.compression.build(),
+            utility: UtilityTable::new(),
+            participation: BTreeMap::new(),
         }
     }
 
@@ -460,6 +528,25 @@ impl Simulation {
     /// Scheduler position (clock-independent) for checkpointing.
     pub fn scheduler_state(&self) -> SchedulerState {
         self.scheduler.export_state()
+    }
+
+    /// The Oort utility table (most recent observed mean loss per client).
+    pub fn utility_table(&self) -> &UtilityTable {
+        &self.utility
+    }
+
+    /// Restore the utility table from checkpointed `(client, mean_loss)`
+    /// pairs (must run after [`Simulation::restore_snapshot`] so a resumed
+    /// run scores Oort selection identically).
+    pub fn restore_utility(&mut self, pairs: impl IntoIterator<Item = (usize, f64)>) {
+        self.utility = UtilityTable::from_pairs(pairs);
+    }
+
+    /// Per-client fold counts so far (clients that never folded are
+    /// absent). Feeds the participation-Gini diagnostic of the `scenario`
+    /// bench; not checkpointed.
+    pub fn participation_counts(&self) -> &BTreeMap<usize, u64> {
+        &self.participation
     }
 
     /// Restore engine position from a checkpoint (see
@@ -601,6 +688,8 @@ impl Simulation {
                 comm_bytes_per_client: comm_per_client,
                 edges: &mut self.edges,
                 edge_uplink_secs,
+                utility: &self.utility,
+                deadline_secs: self.cfg.deadline_secs as f64,
             };
             self.scheduler.step(t, &mut rt)
         };
@@ -608,6 +697,28 @@ impl Simulation {
         for o in &folded {
             self.cum_comm_bytes += comm_per_client;
             self.cum_flops += o.train_flops;
+        }
+        // utility bookkeeping for Oort selection, plus per-client fold
+        // counts for the participation-Gini diagnostic
+        for o in &folded {
+            self.utility.record(o.client, o.mean_loss);
+            *self.participation.entry(o.client).or_insert(0) += 1;
+        }
+        // churn: evict departed clients' state (and utility) the round
+        // they leave — a pure function of the round counter, so a resumed
+        // run evicts identically
+        let avail = *self.sampler.availability();
+        if avail.has_churn() {
+            let departed: Vec<usize> = self
+                .states
+                .iter()
+                .map(|(c, _)| c)
+                .filter(|&c| avail.has_left(c, t))
+                .collect();
+            for c in departed {
+                drop(self.states.take(c));
+                self.utility.evict(c);
+            }
         }
         // each participating edge shipped one summary to the root (adds
         // exactly 0.0 when E = 1, keeping the flat accounting bit-identical)

@@ -65,6 +65,11 @@ use std::collections::BTreeMap;
 /// accounting scalars, in shard arrival order.
 type PartialFold = (ServerFold, Vec<FoldStats>);
 
+/// One edge's cohort slice: `(client, outcome)` pairs in shard order, so
+/// per-outcome stats keep their attribution through the shard-major
+/// reorder.
+type EdgeBucket = Vec<(usize, LocalOutcome)>;
+
 /// The edge-aggregator tier: `E` edge nodes, each with its own virtual
 /// clock, folding disjoint client shards before the root merge.
 #[derive(Debug, Clone)]
@@ -168,31 +173,34 @@ impl EdgeTier {
             "one client id per outcome required"
         );
         // shard — the degenerate single-edge tier keeps the cohort as one
-        // bucket in input order (the flat-fold float sequence)
-        let buckets: Vec<(usize, Vec<LocalOutcome>)> = if self.n_edges() == 1 {
-            vec![(0, outcomes)]
+        // bucket in input order (the flat-fold float sequence); buckets
+        // carry `(client, outcome)` pairs so the per-outcome stats keep
+        // their attribution through the shard-major reorder
+        let buckets: Vec<(usize, EdgeBucket)> = if self.n_edges() == 1 {
+            vec![(0, clients.iter().copied().zip(outcomes).collect())]
         } else {
-            let mut by_edge: BTreeMap<usize, Vec<LocalOutcome>> = BTreeMap::new();
+            let mut by_edge: BTreeMap<usize, EdgeBucket> = BTreeMap::new();
             for (o, &c) in outcomes.into_iter().zip(clients) {
-                by_edge.entry(self.edge_of(c)).or_default().push(o);
+                by_edge.entry(self.edge_of(c)).or_default().push((c, o));
             }
             by_edge.into_iter().collect()
         };
         let active: Vec<usize> = buckets.iter().map(|(e, _)| *e).collect();
 
         // per-edge streaming folds, one rayon item per active edge
-        let mut work: Vec<(Vec<LocalOutcome>, Option<PartialFold>)> = buckets
+        let mut work: Vec<(EdgeBucket, Option<PartialFold>)> = buckets
             .into_iter()
             .map(|(_, bucket)| (bucket, None))
             .collect();
         work.par_iter_mut().for_each(|(bucket, slot)| {
-            let plan = FoldPlan::for_outcomes(bucket.iter());
+            let plan = FoldPlan::for_outcomes(bucket.iter().map(|(_, o)| o));
             let mut fold = ServerFold::begin(global.len(), plan);
             algorithm.server_begin(&mut fold);
             let mut stats = Vec::with_capacity(bucket.len());
-            for o in bucket.drain(..) {
+            for (c, o) in bucket.drain(..) {
                 fold.absorb(algorithm, &o, global);
                 stats.push(FoldStats {
+                    client: c,
                     mean_loss: o.mean_loss,
                     train_flops: o.train_flops,
                     staleness: o.staleness,
@@ -280,6 +288,9 @@ mod tests {
         // shard-major stats order: edge 0 (client 9), edge 1 (7 then 4), edge 2 (2)
         let order: Vec<f64> = folded.iter().map(|s| s.mean_loss).collect();
         assert_eq!(order, vec![9.0, 7.0, 4.0, 2.0]);
+        // attribution survives the reorder
+        let by_client: Vec<usize> = folded.iter().map(|s| s.client).collect();
+        assert_eq!(by_client, vec![9, 7, 4, 2]);
     }
 
     #[test]

@@ -41,12 +41,14 @@
 //! N = 1k to N = 100k by the `population_scale` bench and CI's
 //! `bench_gate`).
 
+pub mod availability;
 pub mod clock;
 pub mod edge;
 pub mod executor;
 pub mod sampler;
 pub mod scheduler;
 
+pub use availability::{AvailabilityModel, UtilityTable};
 pub use clock::{DeviceProfile, DeviceProfiles, VirtualClock};
 pub use edge::EdgeTier;
 pub use executor::ClientExecutor;

@@ -17,9 +17,17 @@
 //! assert!(round_1.windows(2).all(|w| w[0] < w[1])); // sorted, distinct
 //! ```
 
+use super::availability::{AvailabilityModel, UtilityTable};
+use super::clock::DeviceProfiles;
 use fedtrip_tensor::rng::Prng;
 use fedtrip_tensor::rng_tags;
 use serde::{Deserialize, Serialize};
+
+/// Exploration floor of the Oort-style strategy: the fraction of each
+/// cohort reserved for uniform exploration of clients the utility table has
+/// not observed recently. Oort anneals its ε from 0.9 towards 0.2; a fixed
+/// floor keeps every round's stream layout a pure function of `t`.
+const OORT_EXPLORE_FRAC: f64 = 0.3;
 
 /// How the server picks the `K` participants of each round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -33,16 +41,36 @@ pub enum SelectionStrategy {
     /// Sample proportional to local data size (without replacement) —
     /// the "capability-aware" selection common in production FL.
     WeightedBySamples,
+    /// Oort-style utility-aware selection (Lai et al., OSDI '21): rank
+    /// available clients by statistical utility (most recent observed
+    /// training loss) × device speed, with a uniform exploration floor so
+    /// unexplored clients keep entering the pool. Scores come from the
+    /// engine-maintained [`UtilityTable`]; on the semi-async redispatch
+    /// path ([`Sampler::select_idle`] / [`Sampler::select_among`]), where
+    /// no utility snapshot is in scope, it degrades to uniform selection.
+    Oort,
 }
 
 impl SelectionStrategy {
-    /// Parse `uniform` / `roundrobin` / `weighted` (case-insensitive).
+    /// Parse `uniform` / `roundrobin` / `weighted` / `oort`
+    /// (case-insensitive).
     pub fn parse(s: &str) -> Option<SelectionStrategy> {
         match s.to_ascii_lowercase().as_str() {
             "uniform" => Some(SelectionStrategy::Uniform),
             "roundrobin" | "round-robin" => Some(SelectionStrategy::RoundRobin),
             "weighted" | "weightedbysamples" => Some(SelectionStrategy::WeightedBySamples),
+            "oort" | "utility" => Some(SelectionStrategy::Oort),
             _ => None,
+        }
+    }
+
+    /// Display name (round-trips through [`SelectionStrategy::parse`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectionStrategy::Uniform => "uniform",
+            SelectionStrategy::RoundRobin => "roundrobin",
+            SelectionStrategy::WeightedBySamples => "weighted",
+            SelectionStrategy::Oort => "oort",
         }
     }
 }
@@ -97,7 +125,8 @@ impl From<Vec<usize>> for ClientSizes {
     }
 }
 
-/// Owns *who* participates: seeded selection plus straggler injection.
+/// Owns *who* participates: seeded selection plus straggler injection,
+/// optionally filtered through an [`AvailabilityModel`].
 #[derive(Debug, Clone)]
 pub struct Sampler {
     seed: u64,
@@ -107,11 +136,19 @@ pub struct Sampler {
     failure_prob: f32,
     /// Per-client sample counts (weights for `WeightedBySamples`).
     client_sizes: ClientSizes,
+    /// Reachability traces and churn epochs; the default always-on model
+    /// short-circuits to the legacy selection paths bit-for-bit.
+    availability: AvailabilityModel,
+    /// Device profiles for the Oort speed factor (unit spread by default).
+    profiles: DeviceProfiles,
 }
 
 impl Sampler {
     /// Build a sampler for a federation (`client_sizes` may be a plain
-    /// `Vec<usize>` or a [`ClientSizes`]).
+    /// `Vec<usize>` or a [`ClientSizes`]). Availability defaults to
+    /// always-on and device profiles to the homogeneous reference device;
+    /// compose [`Sampler::with_availability`] /
+    /// [`Sampler::with_profiles`] to override.
     pub fn new(
         seed: u64,
         clients_per_round: usize,
@@ -133,16 +170,89 @@ impl Sampler {
             strategy,
             failure_prob,
             client_sizes,
+            availability: AvailabilityModel::always_on(seed, n_clients),
+            profiles: DeviceProfiles::new(seed, n_clients, 1.0),
         }
     }
 
+    /// Replace the availability model (builder style).
+    ///
+    /// # Panics
+    /// Panics when the model's federation size disagrees with the
+    /// sampler's.
+    pub fn with_availability(mut self, availability: AvailabilityModel) -> Self {
+        assert_eq!(
+            availability.n_clients(),
+            self.n_clients,
+            "availability model sized for a different federation"
+        );
+        self.availability = availability;
+        self
+    }
+
+    /// Replace the device profiles used for the Oort speed factor
+    /// (builder style).
+    ///
+    /// # Panics
+    /// Panics when the profiles' federation size disagrees with the
+    /// sampler's.
+    pub fn with_profiles(mut self, profiles: DeviceProfiles) -> Self {
+        assert_eq!(
+            profiles.n_clients(),
+            self.n_clients,
+            "device profiles sized for a different federation"
+        );
+        self.profiles = profiles;
+        self
+    }
+
+    /// The sampler's availability model (engine churn-eviction hook).
+    pub fn availability(&self) -> &AvailabilityModel {
+        &self.availability
+    }
+
     /// Pick round `t`'s participants according to the selection strategy
-    /// (sorted, distinct).
+    /// (sorted, distinct), with an empty utility table — identical to
+    /// [`Sampler::select_with`] for every strategy except `Oort`, whose
+    /// exploitation rank is empty without observed losses.
     pub fn select(&self, t: usize) -> Vec<usize> {
+        self.select_with(t, &UtilityTable::default())
+    }
+
+    /// Pick round `t`'s participants (sorted, distinct), filtering through
+    /// the availability model and scoring `Oort` selection against
+    /// `utility`.
+    ///
+    /// The always-on model with a non-`Oort` strategy takes the legacy
+    /// code path verbatim — same RNG stream, same draw count — which is
+    /// what keeps the golden fixtures pinned. When a trace leaves *no*
+    /// client reachable in round `t`, the filter is ignored for that round
+    /// (liveness fallback, documented in DESIGN.md) so the federation
+    /// never stalls.
+    pub fn select_with(&self, t: usize, utility: &UtilityTable) -> Vec<usize> {
+        if self.availability.is_always_on() && self.strategy != SelectionStrategy::Oort {
+            return self.select_unfiltered(t);
+        }
+        let mut selected = match self.strategy {
+            SelectionStrategy::Oort => self.select_oort(t, utility),
+            SelectionStrategy::Uniform => self.select_uniform_filtered(t),
+            SelectionStrategy::RoundRobin => self.select_roundrobin_filtered(t),
+            SelectionStrategy::WeightedBySamples => self.select_weighted_filtered(t),
+        };
+        selected.sort_unstable(); // deterministic aggregation order
+        selected.dedup();
+        selected
+    }
+
+    /// The pre-availability selection paths, bit-identical to the original
+    /// engine: `(SELECT, t)` stream, no reachability filter.
+    fn select_unfiltered(&self, t: usize) -> Vec<usize> {
         let (n, k) = (self.n_clients, self.clients_per_round);
         let mut sel_rng = Prng::derive(self.seed, &[rng_tags::SELECT, t as u64]);
         let mut selected = match self.strategy {
-            SelectionStrategy::Uniform => sel_rng.sample_indices(n, k),
+            // `Oort` only lands here through the liveness fallback, where
+            // no scoring is possible — degrade to uniform
+            SelectionStrategy::Uniform | SelectionStrategy::Oort => sel_rng.sample_indices(n, k),
             SelectionStrategy::RoundRobin => (0..k).map(|i| ((t - 1) * k + i) % n).collect(),
             SelectionStrategy::WeightedBySamples => {
                 weighted_draw(&mut sel_rng, self.client_sizes.weights(), k)
@@ -153,8 +263,131 @@ impl Sampler {
         selected
     }
 
+    /// Uniform selection over the available set: rejection-sample the
+    /// `(SELECT, t)` stream (expected O(K) while a reasonable fraction of
+    /// the federation is reachable), falling back to materializing the
+    /// available pool when the draw cap runs out.
+    fn select_uniform_filtered(&self, t: usize) -> Vec<usize> {
+        let (n, k) = (self.n_clients, self.clients_per_round);
+        let mut rng = Prng::derive(self.seed, &[rng_tags::SELECT, t as u64]);
+        let mut picked: Vec<usize> = Vec::with_capacity(k);
+        let cap = 16 * k + 64;
+        let mut attempts = 0;
+        while picked.len() < k && attempts < cap {
+            attempts += 1;
+            let c = rng.below(n);
+            if self.availability.is_available(c, t) && !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        if picked.len() < k {
+            let mut pool: Vec<usize> = (0..n)
+                .filter(|&c| self.availability.is_available(c, t) && !picked.contains(&c))
+                .collect();
+            if pool.is_empty() && picked.is_empty() {
+                return self.select_unfiltered(t); // liveness fallback
+            }
+            while picked.len() < k && !pool.is_empty() {
+                picked.push(pool.swap_remove(rng.below(pool.len())));
+            }
+        }
+        picked
+    }
+
+    /// Round-robin over the available set: walk from the round's cursor,
+    /// skipping unreachable clients (at most one full sweep).
+    fn select_roundrobin_filtered(&self, t: usize) -> Vec<usize> {
+        let (n, k) = (self.n_clients, self.clients_per_round);
+        let start = (t - 1) * k;
+        let mut picked = Vec::with_capacity(k);
+        let mut off = 0;
+        while picked.len() < k && off < n {
+            let c = (start + off) % n;
+            off += 1;
+            if self.availability.is_available(c, t) && !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        if picked.is_empty() {
+            return self.select_unfiltered(t); // liveness fallback
+        }
+        picked
+    }
+
+    /// Weighted-by-samples over the available set: unreachable clients get
+    /// zero weight (O(N), like the unfiltered weighted path).
+    fn select_weighted_filtered(&self, t: usize) -> Vec<usize> {
+        let mut rng = Prng::derive(self.seed, &[rng_tags::SELECT, t as u64]);
+        let weights: Vec<f64> = (0..self.n_clients)
+            .map(|c| {
+                if self.availability.is_available(c, t) {
+                    self.client_sizes.get(c) as f64
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        if weights.iter().all(|&w| w <= 0.0) {
+            return self.select_unfiltered(t); // liveness fallback
+        }
+        weighted_draw(&mut rng, weights, self.clients_per_round)
+    }
+
+    /// Oort-style utility-aware selection on the `(OORT, t)` stream.
+    ///
+    /// Exploitation: available clients the utility table has observed are
+    /// ranked by `mean_loss / compute_multiplier` — statistical utility ×
+    /// speed, so "informative *and* fast" sorts first (`total_cmp` with a
+    /// client-id tiebreak keeps the ranking deterministic) — and the top
+    /// `K - ⌈εK⌉` fill the cohort. Exploration: the remaining `⌈εK⌉` slots
+    /// (ε = 0.3) draw uniformly from the available set so unexplored
+    /// clients keep entering the score table. Cost is
+    /// O(|table| log |table| + K); the table never exceeds rounds × K
+    /// entries.
+    fn select_oort(&self, t: usize, utility: &UtilityTable) -> Vec<usize> {
+        let (n, k) = (self.n_clients, self.clients_per_round);
+        let mut rng = Prng::derive(self.seed, &[rng_tags::OORT, t as u64]);
+        let mut scored: Vec<(f64, usize)> = utility
+            .iter()
+            .filter(|&(c, _)| c < n && self.availability.is_available(c, t))
+            .map(|(c, loss)| (loss / self.profiles.get(c).compute_multiplier, c))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let explore_k = ((k as f64) * OORT_EXPLORE_FRAC).ceil() as usize;
+        let exploit_k = k.saturating_sub(explore_k).min(scored.len());
+        let mut picked: Vec<usize> = scored[..exploit_k].iter().map(|&(_, c)| c).collect();
+        let cap = 16 * k + 64;
+        let mut attempts = 0;
+        while picked.len() < k && attempts < cap {
+            attempts += 1;
+            let c = rng.below(n);
+            if self.availability.is_available(c, t) && !picked.contains(&c) {
+                picked.push(c);
+            }
+        }
+        if picked.len() < k {
+            let mut pool: Vec<usize> = (0..n)
+                .filter(|&c| self.availability.is_available(c, t) && !picked.contains(&c))
+                .collect();
+            if pool.is_empty() && picked.is_empty() {
+                // liveness fallback: nobody reachable, nothing scored —
+                // degrade to an unfiltered uniform draw on this stream
+                return rng.sample_indices(n, k);
+            }
+            while picked.len() < k && !pool.is_empty() {
+                picked.push(pool.swap_remove(rng.below(pool.len())));
+            }
+        }
+        picked
+    }
+
     /// Apply straggler injection: drop each selected client with the
     /// configured probability, always keeping at least one survivor.
+    ///
+    /// The all-failed survivor is elected on its own `(SURVIVOR, t)`
+    /// stream rather than by continuing the `(FAILURE, t)` coin flips, so
+    /// the choice is a pure function of the round — it cannot shift when
+    /// the cohort size (and hence the number of failure draws) changes.
     pub fn apply_failures(&self, t: usize, selected: &[usize]) -> Vec<usize> {
         if self.failure_prob <= 0.0 {
             return selected.to_vec();
@@ -166,15 +399,23 @@ impl Sampler {
             .filter(|_| rng.uniform() >= self.failure_prob)
             .collect();
         if survivors.is_empty() {
-            // keep one deterministic survivor so the round still aggregates
-            survivors.push(selected[rng.below(selected.len())]);
+            // seed-derived survivor election so the round still aggregates
+            let mut surv_rng = Prng::derive(self.seed, &[rng_tags::SURVIVOR, t as u64]);
+            survivors.push(selected[surv_rng.below(selected.len())]);
         }
         survivors
     }
 
-    /// Selection followed by failure injection — one round's participants.
+    /// Selection followed by failure injection — one round's participants,
+    /// with an empty utility table (see [`Sampler::participants_with`]).
     pub fn participants(&self, t: usize) -> Vec<usize> {
-        self.apply_failures(t, &self.select(t))
+        self.participants_with(t, &UtilityTable::default())
+    }
+
+    /// Selection (availability-filtered, utility-scored) followed by
+    /// failure injection — one round's participants.
+    pub fn participants_with(&self, t: usize, utility: &UtilityTable) -> Vec<usize> {
+        self.apply_failures(t, &self.select_with(t, utility))
     }
 
     /// Select up to `k` clients from a restricted candidate `pool` (the
@@ -188,7 +429,9 @@ impl Sampler {
         }
         let mut rng = Prng::derive(self.seed, &[rng_tags::DISPATCH, t as u64]);
         let mut picked: Vec<usize> = match self.strategy {
-            SelectionStrategy::Uniform => rng
+            // Oort degrades to uniform on the redispatch path (no utility
+            // snapshot in scope — see the variant docs)
+            SelectionStrategy::Uniform | SelectionStrategy::Oort => rng
                 .sample_indices(pool.len(), k)
                 .into_iter()
                 .map(|i| pool[i])
@@ -245,10 +488,13 @@ impl Sampler {
         }
         let is_busy = |c: usize| busy.binary_search(&c).is_ok();
         let mut rng = Prng::derive(self.seed, &[rng_tags::DISPATCH, t as u64]);
-        // weighted-by-samples over uniform sizes IS uniform selection
-        let uniform = self.strategy == SelectionStrategy::Uniform
-            || (self.strategy == SelectionStrategy::WeightedBySamples
-                && matches!(self.client_sizes, ClientSizes::Uniform { .. }));
+        // weighted-by-samples over uniform sizes IS uniform selection;
+        // Oort degrades to uniform here (no utility snapshot in scope)
+        let uniform = matches!(
+            self.strategy,
+            SelectionStrategy::Uniform | SelectionStrategy::Oort
+        ) || (self.strategy == SelectionStrategy::WeightedBySamples
+            && matches!(self.client_sizes, ClientSizes::Uniform { .. }));
         let mut picked: Vec<usize> = if uniform {
             let mut sel: Vec<usize> = Vec::with_capacity(k);
             while sel.len() < k {
@@ -464,6 +710,87 @@ mod tests {
     }
 
     #[test]
+    fn survivor_election_is_seed_derived_and_draw_count_independent() {
+        // all clients fail: the survivor must come from the dedicated
+        // (SURVIVOR, t) stream, so it cannot depend on how many failure
+        // coin flips preceded it (regression: it used to continue the
+        // FAILURE stream, coupling the choice to the cohort size)
+        let s = sampler(SelectionStrategy::Uniform, 1.0);
+        for t in 1..=8 {
+            let sel = s.select(t);
+            let surv = s.apply_failures(t, &sel);
+            let mut rng = Prng::derive(42, &[rng_tags::SURVIVOR, t as u64]);
+            assert_eq!(surv, vec![sel[rng.below(sel.len())]]);
+            // shrinking the cohort changes the failure-draw count but not
+            // the election stream
+            let prefix = &sel[..sel.len() - 1];
+            let surv_prefix = s.apply_failures(t, prefix);
+            let mut rng = Prng::derive(42, &[rng_tags::SURVIVOR, t as u64]);
+            assert_eq!(surv_prefix, vec![prefix[rng.below(prefix.len())]]);
+        }
+    }
+
+    #[test]
+    fn always_on_select_with_matches_legacy_select() {
+        // the always-on fast path must be the legacy selection verbatim,
+        // utility table or not — this is what pins the golden fixtures
+        for strategy in [
+            SelectionStrategy::Uniform,
+            SelectionStrategy::RoundRobin,
+            SelectionStrategy::WeightedBySamples,
+        ] {
+            let s = sampler(strategy, 0.3);
+            let mut table = UtilityTable::new();
+            table.record(1, 2.0);
+            for t in 1..=8 {
+                assert_eq!(s.select_with(t, &table), s.select(t), "{strategy:?}");
+                assert_eq!(s.participants_with(t, &table), s.participants(t));
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_selection_only_picks_available_clients() {
+        let avail = AvailabilityModel::new(42, 6, 4, 0.5, 0, 0);
+        for strategy in [
+            SelectionStrategy::Uniform,
+            SelectionStrategy::RoundRobin,
+            SelectionStrategy::WeightedBySamples,
+            SelectionStrategy::Oort,
+        ] {
+            let s = sampler(strategy, 0.0).with_availability(avail);
+            for t in 1..=12 {
+                let picked = s.select_with(t, &UtilityTable::default());
+                assert!(!picked.is_empty(), "{strategy:?} t={t}");
+                if (0..6).any(|c| avail.is_available(c, t)) {
+                    assert!(
+                        picked.iter().all(|&c| avail.is_available(c, t)),
+                        "{strategy:?} t={t} picked unavailable: {picked:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oort_exploits_high_loss_clients() {
+        // client 3 has by far the highest loss; with K=3 and an
+        // exploration floor of ⌈0.3·3⌉ = 1 slot, the 2 exploitation slots
+        // must include it every round
+        let s = sampler(SelectionStrategy::Oort, 0.0);
+        let mut u = UtilityTable::new();
+        u.record(0, 0.1);
+        u.record(3, 9.0);
+        u.record(5, 0.2);
+        for t in 1..=8 {
+            let picked = s.select_with(t, &u);
+            assert!(picked.contains(&3), "t={t} {picked:?}");
+            assert_eq!(picked.len(), 3);
+            assert!(picked.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
     fn parse_round_trips() {
         assert_eq!(
             SelectionStrategy::parse("uniform"),
@@ -476,6 +803,14 @@ mod tests {
         assert_eq!(
             SelectionStrategy::parse("weighted"),
             Some(SelectionStrategy::WeightedBySamples)
+        );
+        assert_eq!(
+            SelectionStrategy::parse("Oort"),
+            Some(SelectionStrategy::Oort)
+        );
+        assert_eq!(
+            SelectionStrategy::parse("utility"),
+            Some(SelectionStrategy::Oort)
         );
         assert_eq!(SelectionStrategy::parse("x"), None);
     }

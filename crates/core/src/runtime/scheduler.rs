@@ -31,6 +31,7 @@
 //! assert_eq!(semi.name(), "semiasync");
 //! ```
 
+use super::availability::UtilityTable;
 use super::clock::{DeviceProfiles, VirtualClock};
 use super::edge::EdgeTier;
 use super::executor::ClientExecutor;
@@ -76,6 +77,17 @@ pub struct RuntimeCtx<'a> {
     /// Virtual seconds one edge aggregator needs to ship its merged summary
     /// to the root — `0.0` when the root is colocated (`E = 1`).
     pub edge_uplink_secs: f64,
+    /// Per-client statistical utility (most recent observed loss) for the
+    /// Oort selection strategy; read-only during the step, updated by the
+    /// engine from the fold stats afterwards.
+    pub utility: &'a UtilityTable,
+    /// Synchronous reporting deadline in virtual seconds — clients whose
+    /// round duration exceeds it are dropped from the fold and the round
+    /// barrier is capped at the deadline. `0.0` disables the cutoff
+    /// (bit-identical to the pre-deadline scheduler). The semi-async
+    /// scheduler ignores it: buffered aggregation already tolerates
+    /// stragglers instead of dropping them.
+    pub deadline_secs: f64,
 }
 
 impl RuntimeCtx<'_> {
@@ -102,6 +114,10 @@ impl RuntimeCtx<'_> {
 /// fold.
 #[derive(Debug, Clone, Copy)]
 pub struct FoldStats {
+    /// The client that produced the outcome (utility-table attribution —
+    /// multi-edge folds reorder shard-major, so position alone cannot
+    /// identify the client).
+    pub client: usize,
     /// Mean local training loss.
     pub mean_loss: f64,
     /// Local computation (model FLOPs + attach FLOPs).
@@ -186,30 +202,66 @@ impl Scheduler for Synchronous {
     }
 
     fn step(&mut self, t: usize, rt: &mut RuntimeCtx<'_>) -> StepOutput {
-        let selected = rt.sampler.participants(t);
+        let selected = rt.sampler.participants_with(t, rt.utility);
         let outcomes = rt
             .exec
             .train_batch(rt.algorithm, rt.global, rt.states, &selected, t);
+        // per-client round durations, in selection order
+        let durs: Vec<f64> = outcomes
+            .iter()
+            .zip(&selected)
+            .map(|(o, &c)| {
+                rt.profiles
+                    .get(c)
+                    .duration(o.train_flops, rt.comm_bytes_per_client)
+            })
+            .collect();
+        // deadline cutoff: clients that would report after the deadline
+        // are dropped from the fold (their work is never received, so it
+        // is not charged); when *everyone* would miss it, the fastest
+        // client is kept so the round still aggregates. `deadline == 0`
+        // keeps the whole cohort — the pre-deadline path.
+        let keep: Vec<bool> = if rt.deadline_secs > 0.0 {
+            let mut keep: Vec<bool> = durs.iter().map(|&d| d <= rt.deadline_secs).collect();
+            if keep.iter().all(|&k| !k) {
+                let mut fastest = 0;
+                for (i, &d) in durs.iter().enumerate() {
+                    if d < durs[fastest] {
+                        fastest = i;
+                    }
+                }
+                keep[fastest] = true;
+            }
+            keep
+        } else {
+            vec![true; selected.len()]
+        };
         // per-edge barrier: each edge aggregator waits for its slowest
-        // cohort member (a single-edge tier reduces to the global barrier —
-        // the same running f64::max over the same sequence)
+        // *reporting* cohort member (a single-edge tier reduces to the
+        // global barrier — the same running f64::max over the same
+        // sequence); an edge that dropped a straggler waited until the
+        // deadline before giving up on it
         let mut edge_dt: BTreeMap<usize, f64> = BTreeMap::new();
-        for (o, &c) in outcomes.iter().zip(&selected) {
-            let d = rt
-                .profiles
-                .get(c)
-                .duration(o.train_flops, rt.comm_bytes_per_client);
+        for ((&d, &c), &k) in durs.iter().zip(&selected).zip(&keep) {
             let slot = edge_dt.entry(rt.edges.edge_of(c)).or_insert(0.0f64);
-            *slot = slot.max(d);
+            *slot = slot.max(if k { d } else { rt.deadline_secs });
         }
         let durations: Vec<(usize, f64)> = edge_dt.into_iter().collect();
         rt.edges
             .advance_round(rt.clock, &durations, rt.edge_uplink_secs);
-        let (fold, folded, active) = rt.stream_fold(&selected, outcomes);
+        let mut kept_clients = Vec::with_capacity(selected.len());
+        let mut kept_outcomes = Vec::with_capacity(selected.len());
+        for ((o, &c), &k) in outcomes.into_iter().zip(&selected).zip(&keep) {
+            if k {
+                kept_clients.push(c);
+                kept_outcomes.push(o);
+            }
+        }
+        let (fold, folded, active) = rt.stream_fold(&kept_clients, kept_outcomes);
         StepOutput {
             fold,
             folded,
-            participants: selected,
+            participants: kept_clients,
             edges_active: active.len(),
         }
     }

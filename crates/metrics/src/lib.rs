@@ -19,5 +19,5 @@ pub mod stats;
 pub mod tsne;
 
 pub use report::Table;
-pub use stats::{ema, quantile, time_to_target, BoxplotSummary, Summary};
+pub use stats::{ema, gini, quantile, time_to_target, BoxplotSummary, Summary};
 pub use tsne::{Tsne, TsneConfig};

@@ -62,6 +62,49 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     }
 }
 
+/// Gini coefficient of a non-negative sample — the participation-fairness
+/// metric of the availability scenarios: feed it per-client participation
+/// counts (zeros included for clients that never ran) and it reports how
+/// unequally the selection strategy spread the work.
+///
+/// Uses the sorted-sample formula
+/// `G = (2 Σ_i i·x_(i)) / (n Σ x) − (n + 1) / n` with 1-based ranks over
+/// the ascending sort, clamped into `[0, 1]` against floating-point
+/// drift. An empty or all-zero sample reports `0` (perfect equality —
+/// nobody participated, nobody was favored); a uniform sample reports `0`;
+/// the value is invariant under permutation of the input.
+///
+/// # Panics
+/// Panics when any entry is negative or non-finite.
+pub fn gini(xs: &[f64]) -> f64 {
+    assert!(
+        xs.iter().all(|x| x.is_finite() && *x >= 0.0),
+        "gini input must be non-negative and finite"
+    );
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    // an all-equal sample is definitionally perfect equality; answering 0
+    // exactly (instead of the formula's ~n·ε float drift) keeps "uniform
+    // participation" distinguishable from genuinely unequal ones
+    if sorted.first() == sorted.last() {
+        return 0.0;
+    }
+    let ranked: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i + 1) as f64 * x)
+        .sum();
+    ((2.0 * ranked) / (n * total) - (n + 1.0) / n).clamp(0.0, 1.0)
+}
+
 /// Mean / variance / extremes of a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -212,6 +255,32 @@ mod tests {
     fn quantile_interpolates() {
         let xs = [0.0, 10.0];
         assert!((quantile(&xs, 0.25) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_known_values() {
+        // empty / all-zero / uniform: perfect equality
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(gini(&[5.0, 5.0, 5.0, 5.0]), 0.0);
+        // one client does everything: G = (n-1)/n
+        assert!((gini(&[0.0, 0.0, 0.0, 12.0]) - 0.75).abs() < 1e-12);
+        // textbook example: [1, 2, 3, 4] -> G = 0.25
+        assert!((gini(&[1.0, 2.0, 3.0, 4.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_permutation_invariant_and_bounded() {
+        let a = [3.0, 0.0, 7.0, 1.0, 9.0];
+        let b = [9.0, 1.0, 3.0, 7.0, 0.0];
+        assert_eq!(gini(&a), gini(&b));
+        assert!((0.0..=1.0).contains(&gini(&a)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn gini_rejects_negative_input() {
+        let _ = gini(&[1.0, -1.0]);
     }
 
     #[test]

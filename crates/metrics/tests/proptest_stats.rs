@@ -1,0 +1,94 @@
+//! Property-based tests for the participation-fairness metric: the Gini
+//! coefficient must be a true inequality index — bounded in `[0, 1]`,
+//! exactly 0 for uniform participation, invariant under permutation of the
+//! clients, and monotone under the classic transfer principle (moving
+//! participation from a busy client to an idle one never increases it).
+
+use fedtrip_metrics::gini;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Gini of any non-negative sample lands in `[0, 1]`.
+    #[test]
+    fn gini_is_bounded(xs in prop::collection::vec(0.0f64..1e6, 0..64)) {
+        let g = gini(&xs);
+        prop_assert!((0.0..=1.0).contains(&g), "gini {g} out of [0,1]");
+    }
+
+    /// Uniform participation is perfect equality: exactly 0 for any count
+    /// and federation size (including the all-zero federation).
+    #[test]
+    fn gini_of_uniform_sample_is_zero(x in 0.0f64..1e6, n in 1usize..64) {
+        let xs = vec![x; n];
+        prop_assert_eq!(gini(&xs), 0.0);
+    }
+
+    /// The index scores the *distribution*, not the client ordering:
+    /// shuffling the sample (here: reversing and rotating, which generate
+    /// enough of the permutation group to catch order-sensitivity bugs)
+    /// never changes it.
+    #[test]
+    fn gini_is_permutation_invariant(
+        xs in prop::collection::vec(0.0f64..1e6, 1..64),
+        rot in 0usize..64,
+    ) {
+        let g = gini(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        prop_assert_eq!(gini(&rev), g);
+        let mut rotated = xs.clone();
+        rotated.rotate_left(rot % xs.len());
+        prop_assert_eq!(gini(&rotated), g);
+    }
+
+    /// Transfer principle: moving participation from a harder-working
+    /// client to a less-busy one (without overshooting) never increases
+    /// inequality.
+    #[test]
+    fn gini_respects_transfers(
+        xs in prop::collection::vec(0.0f64..1e3, 2..32),
+        frac in 0.0f64..0.5,
+    ) {
+        let hi = xs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let lo = xs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        prop_assume!(hi != lo && xs[hi] > xs[lo]);
+        let before = gini(&xs);
+        let mut after = xs.clone();
+        let amount = frac * (xs[hi] - xs[lo]);
+        after[hi] -= amount;
+        after[lo] += amount;
+        prop_assert!(
+            gini(&after) <= before + 1e-12,
+            "transfer raised gini: {} -> {}",
+            before,
+            gini(&after)
+        );
+    }
+
+    /// Full concentration — one client does all the work — is the maximal
+    /// inequality the index can report for that federation size:
+    /// `(n-1)/n`.
+    #[test]
+    fn gini_of_full_concentration_is_n_minus_one_over_n(
+        x in 1.0f64..1e6,
+        n in 2usize..64,
+        pos in 0usize..64,
+    ) {
+        let mut xs = vec![0.0; n];
+        xs[pos % n] = x;
+        let want = (n as f64 - 1.0) / n as f64;
+        prop_assert!((gini(&xs) - want).abs() < 1e-12);
+    }
+}

@@ -59,6 +59,20 @@ pub const SYNTH_LABEL_FLIP: u64 = 0xF11B; // "FLIP"
 pub const DROPOUT: u64 = 0xD0_D0;
 /// t-SNE embedding initialization (`fig2_tsne`), `(TSNE_INIT, client)`.
 pub const TSNE_INIT: u64 = 0xF1_62;
+/// Per-client availability trace derivation (`AvailabilityModel`),
+/// `(AVAIL, client)` — diurnal phase offsets.
+pub const AVAIL: u64 = 0x41_56_41_49; // "AVAI"
+/// Per-client churn epoch derivation (`AvailabilityModel`),
+/// `(CHURN, client)` — join round and residency lifetime.
+pub const CHURN: u64 = 0x43_48_52_4E; // "CHRN"
+/// Utility-aware (Oort-style) selection stream
+/// (`Sampler::select_with`), `(OORT, t)` — exploration draws on top of
+/// the deterministic exploitation ranking.
+pub const OORT: u64 = 0x4F_4F_52_54; // "OORT"
+/// All-failed survivor election (`Sampler::apply_failures`),
+/// `(SURVIVOR, t)` — decoupled from [`FAILURE`] so the survivor choice
+/// does not depend on how many coin flips the failure filter consumed.
+pub const SURVIVOR: u64 = 0x53_55_52_56; // "SURV"
 
 /// Every registered tag, by name — the table the distinctness test and
 /// external auditors (e.g. `lint_gate`'s JSON report) walk.
@@ -78,6 +92,10 @@ pub const ALL: &[(&str, u64)] = &[
     ("SYNTH_LABEL_FLIP", SYNTH_LABEL_FLIP),
     ("DROPOUT", DROPOUT),
     ("TSNE_INIT", TSNE_INIT),
+    ("AVAIL", AVAIL),
+    ("CHURN", CHURN),
+    ("OORT", OORT),
+    ("SURVIVOR", SURVIVOR),
 ];
 
 #[cfg(test)]
@@ -101,6 +119,6 @@ mod tests {
     fn table_covers_every_constant() {
         // the table drives the distinctness check, so a constant missing
         // from it silently escapes auditing; pin the count
-        assert_eq!(ALL.len(), 15);
+        assert_eq!(ALL.len(), 19);
     }
 }
