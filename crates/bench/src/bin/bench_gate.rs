@@ -45,6 +45,7 @@ use fedtrip_bench::population::{
     measure_population, population_cfg, BenchReport, PopulationPoint, SWEEP_K,
 };
 use fedtrip_core::algorithms::{AlgorithmKind, ClientData, ClientState, HyperParams, LocalContext};
+use fedtrip_core::compression::{error_feedback_step, CompressionKind};
 use fedtrip_core::engine::Simulation;
 use fedtrip_data::synth::{DatasetKind, SampleRef, SyntheticVision};
 use fedtrip_models::ModelKind;
@@ -221,6 +222,24 @@ fn conv_fwd_metric() -> u64 {
     })
 }
 
+/// Criterion-lite downlink broadcast encode: one server-side
+/// error-feedback step (residual add, Q8 encode, decode, residual
+/// update) over a CNN-sized global delta — the per-round server cost the
+/// compressed delta-broadcast path adds, paid once per round regardless
+/// of cohort size.
+fn broadcast_encode_metric() -> u64 {
+    let n = ModelKind::Cnn.build(&[1, 28, 28], 10, 7).num_params();
+    let mut rng = Prng::seed_from_u64(9);
+    let delta: Vec<f32> = (0..n).map(|_| 0.01 * rng.normal()).collect();
+    let codec = CompressionKind::Q8.build();
+    let mut residual: Option<Vec<f32>> = None;
+    // 15 reps, like local_step: sub-ms metric on shared vCPUs
+    time_min(15, || {
+        let out = error_feedback_step(codec.as_ref(), &delta, &mut residual, true);
+        std::hint::black_box(out);
+    })
+}
+
 /// Re-measure one named gate metric, for retry-on-regression.
 fn remeasure(name: &str) -> Option<u64> {
     Some(match name {
@@ -230,6 +249,7 @@ fn remeasure(name: &str) -> Option<u64> {
         "local_step_fedtrip_ns" => local_step_metric(AlgorithmKind::FedTrip),
         "edge_merge_ns" => edge_merge_metric(),
         "scenario_round_ns" => scenario_round_metric(),
+        "broadcast_encode_ns" => broadcast_encode_metric(),
         "gemm_gflops_small" => gemm_mflops(64),
         "gemm_gflops_large" => gemm_mflops(256),
         "conv_fwd_ns" => conv_fwd_metric(),
@@ -246,7 +266,20 @@ fn remeasure(name: &str) -> Option<u64> {
 
 fn fail(failures: &mut Vec<String>, msg: String) {
     eprintln!("bench_gate: FAIL: {msg}");
+    // surface the failure as a GitHub annotation on the workflow run
+    // (stdout is where the runner picks up workflow commands)
+    if std::env::var_os("GITHUB_ACTIONS").is_some() {
+        println!("::error title=bench_gate::{}", annotation_escape(&msg));
+    }
     failures.push(msg);
+}
+
+/// Escape a message for a GitHub `::error` workflow-command data field:
+/// `%`, `\r`, and `\n` would otherwise terminate or corrupt the command.
+fn annotation_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn main() -> std::process::ExitCode {
@@ -287,6 +320,9 @@ fn run() -> Result<bool, String> {
     let ns = scenario_round_metric();
     println!("  scenario_round_ns = {ns}");
     metrics.insert("scenario_round_ns".into(), ns);
+    let ns = broadcast_encode_metric();
+    println!("  broadcast_encode_ns = {ns}");
+    metrics.insert("broadcast_encode_ns".into(), ns);
     for (name, n) in [("gemm_gflops_small", 64usize), ("gemm_gflops_large", 256)] {
         let mflops = gemm_mflops(n);
         println!("  {name} = {mflops} MFLOP/s ({n}^3)");

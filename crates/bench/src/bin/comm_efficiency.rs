@@ -1,21 +1,26 @@
-//! `comm_efficiency` — virtual wall-clock to a target accuracy across
-//! upload codecs and device-speed spreads.
+//! `comm_efficiency` — virtual wall-clock and total bytes to a target
+//! accuracy across codec pairs (uplink x downlink) and device-speed
+//! spreads.
 //!
-//! Every method ships `|w|` dense f32 parameters up each round; the
-//! compression subsystem (`fedtrip_core::compression`) shrinks that uplink
-//! and the virtual clock charges exactly the encoded bytes. This binary
-//! quantifies the trade: lossy codecs slightly perturb each round's
-//! update (error feedback recovers most of it) but cut link seconds per
-//! round, so time-to-target-accuracy drops — and drops hardest under wide
-//! device spreads, where the synchronous barrier waits on the slowest
-//! link.
+//! Every method ships `|w|` dense f32 parameters up each round and the
+//! server broadcasts the global model back down; the compression subsystem
+//! (`fedtrip_core::compression`) shrinks both halves of the wire and the
+//! virtual clock charges exactly the encoded bytes. Uplinks compress the
+//! client update directly (with client-side error feedback); downlinks
+//! broadcast quantized global *deltas* with a server-side error-feedback
+//! residual and a periodic dense resync. This binary quantifies the trade:
+//! lossy codecs slightly perturb each round but cut link seconds and bytes
+//! per round, so time-to-target drops — hardest under wide device spreads,
+//! where the synchronous barrier waits on the slowest link — and closing
+//! the downlink roughly halves the remaining byte bill on top of
+//! uplink-only compression.
 //!
 //! ```bash
 //! cargo run --release -p fedtrip-bench --bin comm_efficiency -- \
 //!     [--scale smoke|default|paper] [--seed S] [--results DIR]
 //! ```
 //!
-//! Codecs are scored against an *adaptive* target — 90% of the
+//! Codec pairs are scored against an *adaptive* target — 90% of the
 //! uncompressed run's final accuracy at the same device spread — which
 //! keeps the comparison meaningful at reduced scales.
 
@@ -27,19 +32,36 @@ use fedtrip_metrics::report::{save_json, Table};
 use fedtrip_metrics::time_to_target;
 use serde_json::json;
 
-/// (times, accuracies) of the evaluated rounds.
-fn series(records: &[RoundRecord]) -> (Vec<f64>, Vec<f64>) {
+/// Dense resync cadence whenever a downlink codec is active: frequent
+/// enough that quantization drift never accumulates past a handful of
+/// rounds, sparse enough that delta rounds dominate the byte bill.
+const RESYNC_INTERVAL: usize = 5;
+
+/// (x, accuracy) series of the evaluated rounds, where `x` is extracted
+/// per record — virtual seconds or cumulative bytes.
+fn series(records: &[RoundRecord], x: impl Fn(&RoundRecord) -> f64) -> (Vec<f64>, Vec<f64>) {
     records
         .iter()
-        .filter_map(|r| r.accuracy.map(|a| (r.virtual_time, a)))
+        .filter_map(|r| r.accuracy.map(|a| (x(r), a)))
         .unzip()
 }
 
-fn run(spec: &ExperimentSpec, compression: CompressionKind, device_het: f32) -> Simulation {
+fn run(
+    spec: &ExperimentSpec,
+    up: CompressionKind,
+    down: CompressionKind,
+    spread: f32,
+) -> Simulation {
     let mut cfg = spec.to_config();
-    cfg.compression = compression;
-    cfg.error_feedback = compression != CompressionKind::None;
-    cfg.device_het = device_het;
+    cfg.compression = up;
+    cfg.error_feedback = up != CompressionKind::None;
+    cfg.downlink_compression = down;
+    cfg.resync_interval = if down != CompressionKind::None {
+        RESYNC_INTERVAL
+    } else {
+        0
+    };
+    cfg.device_het = spread;
     let mut sim = Simulation::new(cfg, spec.algorithm.build(&spec.hyper));
     sim.run();
     sim
@@ -49,32 +71,40 @@ fn fmt_time(t: Option<f64>) -> String {
     t.map(|s| format!("{s:.1}s")).unwrap_or_else(|| "—".into())
 }
 
+fn fmt_mb(b: Option<f64>) -> String {
+    b.map(|b| format!("{:.2}", b / 1e6))
+        .unwrap_or_else(|| "—".into())
+}
+
 fn main() {
     let cli = Cli::parse();
-    cli.banner("Communication efficiency — upload codecs x device spread (sync barrier)");
+    cli.banner("Communication efficiency — codec pairs (up x down) x device spread (sync barrier)");
 
     let spec = ExperimentSpec::quickstart()
         .with_scale(cli.scale)
         .with_seed(cli.seed);
-    let codecs = [
-        CompressionKind::None,
-        CompressionKind::Q8,
-        CompressionKind::Q4,
-        CompressionKind::TopK(0.05),
+    let pairs = [
+        (CompressionKind::None, CompressionKind::None),
+        (CompressionKind::Q8, CompressionKind::None),
+        (CompressionKind::Q8, CompressionKind::Q8),
+        (CompressionKind::Q4, CompressionKind::Q4),
     ];
 
     let mut table = Table::new(
         format!(
-            "{} | virtual seconds to target (lossy codecs run with error feedback)",
+            "{} | virtual seconds and total MB to target (lossy codecs run with error feedback; \
+             downlink deltas resync every {RESYNC_INTERVAL} rounds)",
             spec.algorithm.name()
         ),
         &[
-            "codec",
+            "up",
+            "down",
             "spread",
-            "up MB/client",
-            "ratio",
+            "ratio-up",
+            "ratio-down",
             "target",
             "t-to-target",
+            "MB-to-target",
             "speedup",
             "final acc",
         ],
@@ -84,15 +114,32 @@ fn main() {
     for device_het in [1.0f32, 2.0, 4.0] {
         let mut baseline_time: Option<f64> = None;
         let mut target = 0.0f64;
-        for codec in codecs {
-            let sim = run(&spec, codec, device_het);
+        for (up, down) in pairs {
+            let sim = run(&spec, up, down, device_het);
             let last = sim.records().last().expect("run produced records");
-            if codec == CompressionKind::None {
+            if up == CompressionKind::None {
                 target = 0.90 * sim.final_accuracy(5);
             }
-            let (ts, accs) = series(sim.records());
+            let (ts, accs) = series(sim.records(), |r| r.virtual_time);
             let t = time_to_target(&ts, &accs, target);
-            if codec == CompressionKind::None {
+            let (bs, accs_b) = series(sim.records(), |r| r.cum_comm_bytes);
+            let bytes = time_to_target(&bs, &accs_b, target);
+            // run-level downlink ratio: per-record `compression_ratio_down`
+            // is dense/actual for that round, so dense = ratio x actual;
+            // summing both sides folds resync rounds (ratio 1) and delta
+            // rounds into the whole-run average
+            let down_actual: f64 = sim.records().iter().map(|r| r.comm_bytes_down).sum();
+            let down_dense: f64 = sim
+                .records()
+                .iter()
+                .map(|r| r.comm_bytes_down * r.compression_ratio_down)
+                .sum();
+            let ratio_down = if down_actual > 0.0 {
+                down_dense / down_actual
+            } else {
+                1.0
+            };
+            if up == CompressionKind::None {
                 baseline_time = t;
             }
             let speedup = match (baseline_time, t) {
@@ -100,24 +147,26 @@ fn main() {
                 _ => "—".into(),
             };
             table.row(&[
-                codec.name(),
+                up.name(),
+                down.name(),
                 format!("{device_het:.0}x"),
-                format!(
-                    "{:.3}",
-                    last.comm_bytes_up / last.selected.len() as f64 / 1e6
-                ),
                 format!("{:.2}x", last.compression_ratio),
+                format!("{ratio_down:.2}x"),
                 format!("{:.1}%", target * 100.0),
                 fmt_time(t),
+                fmt_mb(bytes),
                 speedup,
                 format!("{:.1}%", sim.final_accuracy(5) * 100.0),
             ]);
             artifacts.push(json!({
-                "codec": codec.name(),
+                "codec_up": up.name(),
+                "codec_down": down.name(),
                 "device_het": device_het as f64,
                 "compression_ratio": last.compression_ratio,
+                "compression_ratio_down": ratio_down,
                 "target": target,
                 "time_to_target": t,
+                "bytes_to_target": bytes,
                 "final_accuracy": sim.final_accuracy(5),
                 "cum_comm_mb": last.cum_comm_bytes / 1e6,
             }));
@@ -125,9 +174,11 @@ fn main() {
     }
 
     println!("{}", table.render());
-    println!("Reading: the codec column shrinks uplink bytes by `ratio`; under wider");
-    println!("device spreads the sync barrier waits on slower links, so the same");
-    println!("byte saving buys more virtual seconds per round.");
+    println!("Reading: the up/down codec pair shrinks each wire half by its ratio;");
+    println!("under wider device spreads the sync barrier waits on slower links, so");
+    println!("the same byte saving buys more virtual seconds per round. MB-to-target");
+    println!("is the total (up + down) traffic when the run first holds the target —");
+    println!("closing the downlink beats uplink-only on total bytes at every spread.");
     match save_json(&cli.results, "comm_efficiency", &artifacts) {
         Ok(path) => println!("artifact: {}", path.display()),
         Err(e) => eprintln!("artifact write failed: {e}"),

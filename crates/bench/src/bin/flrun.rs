@@ -13,7 +13,12 @@
 //! run so it can be extended later with `--resume run.json --rounds N`.
 //! Upload compression is `--compress q8|q4|topk:0.01` (optionally with
 //! `--error-feedback`); the virtual clock then charges the encoded uplink
-//! bytes, visible in the `up-MB/rnd` column. `--edges E` shards clients
+//! bytes, visible in the `up-MB/rnd` column. Downlink compression is
+//! `--compress-down q8|q4|topk:F`: the server broadcasts quantized global
+//! *deltas* with its own error-feedback residual, re-anchoring with a
+//! dense full-model resync every `--resync R` rounds (and on demand for
+//! churn joiners that lack a broadcast base); encoded downlink bytes show
+//! up in the `down-MB/rnd` column. `--edges E` shards clients
 //! across `E` edge aggregators with per-edge clocks and a parallel root
 //! merge — the knob that makes million-client federations tractable.
 //! `--availability diurnal[:PERIOD[:FRAC]]` gives every client a
@@ -43,7 +48,8 @@ fn die(msg: &str) -> ! {
          [--selection uniform|roundrobin|weighted|oort] [--failure-prob P] \
          [--lr-schedule const|step:E:F|cosine:T:M] [--mode sync|semiasync] \
          [--device-het S] [--buffer B] [--compress none|q8|q4|topk:F] \
-         [--error-feedback] [--edges E] \
+         [--error-feedback] [--compress-down none|q8|q4|topk:F] [--resync R] \
+         [--edges E] \
          [--availability always|diurnal[:PERIOD[:FRAC]]] [--churn JOIN[:RESIDENCY]] \
          [--deadline SECS] [--checkpoint FILE] [--resume FILE]"
     );
@@ -125,6 +131,8 @@ struct ConfigOverrides {
     async_buffer: Option<usize>,
     compression: Option<CompressionKind>,
     error_feedback: bool,
+    downlink: Option<CompressionKind>,
+    resync: Option<usize>,
     edges: Option<usize>,
     availability: Option<(usize, f32)>,
     churn: Option<(usize, usize)>,
@@ -141,6 +149,8 @@ impl ConfigOverrides {
             || self.async_buffer.is_some()
             || self.compression.is_some()
             || self.error_feedback
+            || self.downlink.is_some()
+            || self.resync.is_some()
             || self.edges.is_some()
             || self.availability.is_some()
             || self.churn.is_some()
@@ -262,6 +272,14 @@ fn main() {
                 i += 1;
                 continue;
             }
+            "--compress-down" => {
+                overrides.downlink = Some(
+                    CompressionKind::parse(val()).unwrap_or_else(|| die("bad --compress-down")),
+                )
+            }
+            "--resync" => {
+                overrides.resync = Some(val().parse().unwrap_or_else(|_| die("bad --resync")))
+            }
             "--edges" => {
                 let e: usize = val().parse().unwrap_or_else(|_| die("bad --edges"));
                 if e == 0 {
@@ -293,7 +311,7 @@ fn main() {
     let mut sim = match &resume {
         Some(path) => {
             if overrides.any() {
-                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback/--edges/--availability/--churn/--deadline) cannot be combined with --resume; the checkpoint pins them");
+                die("engine overrides (--selection/--failure-prob/--lr-schedule/--mode/--device-het/--buffer/--compress/--error-feedback/--compress-down/--resync/--edges/--availability/--churn/--deadline) cannot be combined with --resume; the checkpoint pins them");
             }
             let ckpt = Checkpoint::load(path).unwrap_or_else(|e| die(&format!("resume: {e}")));
             eprintln!(
@@ -344,6 +362,12 @@ fn main() {
                 cfg.compression = c;
             }
             cfg.error_feedback = overrides.error_feedback;
+            if let Some(c) = overrides.downlink {
+                cfg.downlink_compression = c;
+            }
+            if let Some(r) = overrides.resync {
+                cfg.resync_interval = r;
+            }
             if let Some(e) = overrides.edges {
                 cfg.edges = e;
             }
@@ -376,8 +400,17 @@ fn main() {
             } else {
                 String::new()
             };
+            let down = if cfg.downlink_compression != CompressionKind::None {
+                format!(
+                    " | compress-down {} (resync {})",
+                    cfg.downlink_compression.name(),
+                    cfg.resync_interval,
+                )
+            } else {
+                String::new()
+            };
             println!(
-                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{} | edges {}{avail}{churn}{deadline}",
+                "{} | {} / {} | {} | {}-of-{} clients | {} rounds | scale {:?} | mode {} | device-het {:.1}x | compress {}{}{down} | edges {}{avail}{churn}{deadline}",
                 spec.algorithm.name(),
                 spec.model.name(),
                 spec.dataset.name(),
@@ -409,27 +442,35 @@ fn main() {
     let t0 = std::time::Instant::now();
     sim.run();
     let records = sim.records();
-    println!("\nround  acc%    loss    cum-GFLOPs  cum-comm-MB  up-MB/rnd      virt-s  staleness");
+    println!(
+        "\nround  acc%    loss    cum-GFLOPs  cum-comm-MB  up-MB/rnd  down-MB/rnd      virt-s  staleness"
+    );
     let step = (records.len() / 15).max(1);
     for r in records.iter().step_by(step) {
         println!(
-            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}  {:>9.3}  {:>10.1}  {:>9.2}",
+            "{:>5}  {:>5.1}  {:>6.3}  {:>10.2}  {:>11.2}  {:>9.3}  {:>11.3}  {:>10.1}  {:>9.2}",
             r.round,
             r.accuracy.unwrap_or(f64::NAN) * 100.0,
             r.mean_loss,
             r.cum_flops / 1e9,
             r.cum_comm_bytes / 1e6,
             r.comm_bytes_up / 1e6,
+            r.comm_bytes_down / 1e6,
             r.virtual_time,
             r.mean_staleness,
         );
     }
     let ratio = records.last().map(|r| r.compression_ratio).unwrap_or(1.0);
+    let ratio_down = records
+        .last()
+        .map(|r| r.compression_ratio_down)
+        .unwrap_or(1.0);
     println!(
-        "\nfinal accuracy (last 10 evals): {:.2}%   virtual: {:.1}s   uplink ratio: {:.2}x   wall: {:.1?}",
+        "\nfinal accuracy (last 10 evals): {:.2}%   virtual: {:.1}s   uplink ratio: {:.2}x   downlink ratio: {:.2}x   wall: {:.1?}",
         sim.final_accuracy(10) * 100.0,
         sim.virtual_time(),
         ratio,
+        ratio_down,
         t0.elapsed()
     );
     eprintln!(

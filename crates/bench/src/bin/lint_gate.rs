@@ -92,8 +92,20 @@ fn run() -> Result<bool, String> {
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
     }
 
+    let annotate = std::env::var_os("GITHUB_ACTIONS").is_some();
     for d in &report.diagnostics {
         println!("{d}");
+        if annotate {
+            // GitHub workflow command: an inline annotation at the finding's
+            // file and line; properties and message need %/CR/LF escaping
+            println!(
+                "::error file={},line={},title=fedtrip-lint({})::{}",
+                annotation_escape(&d.file),
+                d.line,
+                d.rule,
+                annotation_escape(&d.message),
+            );
+        }
     }
     eprintln!(
         "lint_gate: {} files scanned, {} finding{}",
@@ -106,6 +118,14 @@ fn run() -> Result<bool, String> {
         }
     );
     Ok(report.is_clean())
+}
+
+/// Escape text for a GitHub workflow-command property or data field:
+/// `%`, `\r`, and `\n` would otherwise terminate or corrupt the command.
+fn annotation_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn main() -> ExitCode {

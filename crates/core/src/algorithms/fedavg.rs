@@ -43,6 +43,7 @@ impl Algorithm for FedAvg {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

@@ -122,6 +122,7 @@ impl Algorithm for FedDyn {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 
@@ -192,6 +193,7 @@ mod tests {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

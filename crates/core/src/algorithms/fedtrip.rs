@@ -167,6 +167,7 @@ impl Algorithm for FedTrip {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

@@ -123,6 +123,7 @@ impl Algorithm for MimeLite {
             aux: Some(full_grad),
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 
@@ -230,6 +231,7 @@ mod tests {
             aux: Some(vec![2.0, 4.0]),
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         };
         let mut g = vec![0.0f32, 0.0];
         server_update(&mut ml, &mut g, &[o], 1);

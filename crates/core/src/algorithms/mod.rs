@@ -109,6 +109,14 @@ pub struct ClientState {
     /// on the next participation. `None` until the client first uploads
     /// under a lossy codec with error feedback enabled.
     pub residual: Option<Vec<f32>>,
+    /// Broadcast sync epoch: which full-model resync generation this
+    /// client's reconstructed downlink view belongs to. A client whose
+    /// epoch differs from the server's current one (a churn joiner, a
+    /// client restored from a pre-delta checkpoint, or anyone who missed a
+    /// resync) receives an on-demand dense broadcast before any delta.
+    /// `None` until the client first participates under a delta downlink;
+    /// always `None` when the downlink is dense.
+    pub sync_epoch: Option<u64>,
 }
 
 impl ClientState {
@@ -120,6 +128,7 @@ impl ClientState {
             && self.historical.is_none()
             && self.correction.is_none()
             && self.residual.is_none()
+            && self.sync_epoch.is_none()
     }
 }
 
@@ -268,6 +277,12 @@ pub struct LocalOutcome {
     /// weight (`1.0` = undiscounted, the synchronous default; the
     /// semi-async scheduler sets `1 / (1 + staleness)^a`).
     pub agg_weight: f64,
+    /// Whether this client's broadcast this round was a **dense** full-model
+    /// send (`true`: dense downlink, a resync round, or an on-demand base
+    /// for a joiner) rather than a compressed delta. Algorithms always set
+    /// `true`; the executor downgrades it to `false` for in-sync clients
+    /// under a delta downlink. Drives downlink byte/time accounting only.
+    pub dense_down: bool,
 }
 
 /// Scalar cohort summary available *before* any outcome folds — what a
@@ -766,6 +781,7 @@ mod tests {
             aux: None,
             staleness: 0,
             agg_weight,
+            dense_down: true,
         }
     }
 

@@ -172,6 +172,7 @@ impl Algorithm for Moon {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

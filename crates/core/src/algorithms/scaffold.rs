@@ -111,6 +111,7 @@ impl Algorithm for Scaffold {
             aux: Some(delta_c),
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 
@@ -213,6 +214,7 @@ mod tests {
             aux: Some(vec![10.0, -20.0]),
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         };
         let mut g = vec![0.0f32, 0.0];
         server_update(&mut sc, &mut g, &[o], 1);

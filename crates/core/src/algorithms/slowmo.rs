@@ -76,6 +76,7 @@ impl Algorithm for SlowMo {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 
@@ -126,6 +127,7 @@ mod tests {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

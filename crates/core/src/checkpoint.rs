@@ -22,9 +22,20 @@ use std::path::Path;
 /// states went **sparse** (a v4 snapshot stores `(client, state)` entries
 /// only for clients that have participated), to 5 when the hierarchical
 /// aggregation tier added the `edges` configuration knob and the per-edge
-/// clock vector, and to 6 when the availability layer added the
+/// clock vector, to 6 when the availability layer added the
 /// availability/churn/deadline configuration knobs and the server-side
-/// utility table that utility-aware (Oort) selection scores from. v5
+/// utility table that utility-aware (Oort) selection scores from, and to
+/// 7 when the downlink went compressible: the configuration gained the
+/// `downlink_compression`/`resync_interval` knobs, round records gained
+/// the downlink byte/ratio columns, client states gained the broadcast
+/// sync epoch, scheduler jobs gained the dense-downlink bit, and the
+/// snapshot gained the server's broadcast state (clients' reconstructed
+/// view, the delta reference, the downlink error-feedback residual, and
+/// the sync epoch). v6 snapshots migrate as the dense-downlink federation
+/// they were (downlink codec off, sync epochs absent, empty broadcast
+/// vectors, downlink byte columns derived from the cumulative totals they
+/// already recorded) — dense downlink takes the exact legacy engine path,
+/// so a migrated resume stays bit-identical (pinned by a test). v5
 /// snapshots migrate as the always-on federation they were (availability
 /// knobs zeroed, empty utility table); because the always-on model with a
 /// non-Oort strategy takes the exact legacy selection path — and v5
@@ -47,7 +58,7 @@ use std::path::Path;
 /// (the version is checked *before* full deserialization, so a foreign
 /// snapshot reports its version instead of a confusing missing-field
 /// error).
-pub const CHECKPOINT_VERSION: u32 = 6;
+pub const CHECKPOINT_VERSION: u32 = 7;
 
 /// One sparse client-state entry of a v4+ snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -110,6 +121,20 @@ pub struct Checkpoint {
     /// snapshot state: they are pure functions of `(seed, client, round)`,
     /// so `round` above is the whole availability cursor.
     pub utility: Vec<UtilityEntry>,
+    /// Clients' reconstructed view of the global model under delta
+    /// broadcasts — empty when the downlink is dense (nothing to carry;
+    /// restore re-anchors it to the global model if a delta-downlink
+    /// configuration later resumes this snapshot).
+    pub broadcast_view: Vec<f32>,
+    /// Global parameters at the last broadcast (the delta reference
+    /// `w_broadcast_base`); empty when the downlink is dense.
+    pub broadcast_last: Vec<f32>,
+    /// Server-side downlink error-feedback residual; empty when absent
+    /// (dense downlink, or a delta run that has not dropped mass yet).
+    pub broadcast_residual: Vec<f32>,
+    /// Broadcast sync epoch — which full-model resync generation the
+    /// clients' views belong to.
+    pub broadcast_epoch: u64,
 }
 
 /// The pre-hierarchical-tier configuration layout (no `edges` field),
@@ -243,11 +268,11 @@ pub struct SimulationConfigV5 {
     pub edges: usize,
 }
 
-impl From<SimulationConfigV5> for SimulationConfig {
+impl From<SimulationConfigV5> for SimulationConfigV6 {
     /// A legacy configuration describes an always-on federation: no
     /// diurnal cycle (`availability_period = 0`), no churn, no deadline.
-    fn from(v5: SimulationConfigV5) -> SimulationConfig {
-        SimulationConfig {
+    fn from(v5: SimulationConfigV5) -> SimulationConfigV6 {
+        SimulationConfigV6 {
             dataset: v5.dataset,
             model: v5.model,
             heterogeneity: v5.heterogeneity,
@@ -315,6 +340,381 @@ impl From<SimulationConfig> for SimulationConfigV5 {
     }
 }
 
+/// The pre-downlink-compression configuration layout (has the
+/// availability knobs, lacks `downlink_compression`/`resync_interval`),
+/// kept for v6 snapshot migration. `Serialize` stays derived so tests can
+/// author legacy fixtures.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct SimulationConfigV6 {
+    pub dataset: fedtrip_data::synth::DatasetKind,
+    pub model: fedtrip_models::ModelKind,
+    pub heterogeneity: fedtrip_data::partition::HeterogeneityKind,
+    pub n_clients: usize,
+    pub clients_per_round: usize,
+    pub rounds: usize,
+    pub local_epochs: usize,
+    pub batch_size: usize,
+    pub lr: f32,
+    pub momentum: f32,
+    pub seed: u64,
+    pub test_per_class: usize,
+    pub client_samples_override: Option<usize>,
+    pub eval_every: usize,
+    pub selection: crate::runtime::SelectionStrategy,
+    pub failure_prob: f32,
+    pub lr_schedule: fedtrip_tensor::optim::LrSchedule,
+    pub mode: crate::runtime::RunMode,
+    pub device_het: f32,
+    pub async_buffer: usize,
+    pub staleness_exponent: f32,
+    pub compression: crate::compression::CompressionKind,
+    pub error_feedback: bool,
+    pub edges: usize,
+    pub availability_period: usize,
+    pub availability_on_fraction: f32,
+    pub churn_join_window: usize,
+    pub churn_residency: usize,
+    pub deadline_secs: f32,
+}
+
+impl From<SimulationConfigV6> for SimulationConfig {
+    /// A legacy configuration broadcast the dense full model every round:
+    /// downlink codec off, no resync cadence.
+    fn from(v6: SimulationConfigV6) -> SimulationConfig {
+        SimulationConfig {
+            dataset: v6.dataset,
+            model: v6.model,
+            heterogeneity: v6.heterogeneity,
+            n_clients: v6.n_clients,
+            clients_per_round: v6.clients_per_round,
+            rounds: v6.rounds,
+            local_epochs: v6.local_epochs,
+            batch_size: v6.batch_size,
+            lr: v6.lr,
+            momentum: v6.momentum,
+            seed: v6.seed,
+            test_per_class: v6.test_per_class,
+            client_samples_override: v6.client_samples_override,
+            eval_every: v6.eval_every,
+            selection: v6.selection,
+            failure_prob: v6.failure_prob,
+            lr_schedule: v6.lr_schedule,
+            mode: v6.mode,
+            device_het: v6.device_het,
+            async_buffer: v6.async_buffer,
+            staleness_exponent: v6.staleness_exponent,
+            compression: v6.compression,
+            error_feedback: v6.error_feedback,
+            edges: v6.edges,
+            availability_period: v6.availability_period,
+            availability_on_fraction: v6.availability_on_fraction,
+            churn_join_window: v6.churn_join_window,
+            churn_residency: v6.churn_residency,
+            deadline_secs: v6.deadline_secs,
+            downlink_compression: crate::compression::CompressionKind::None,
+            resync_interval: 0,
+        }
+    }
+}
+
+impl From<SimulationConfig> for SimulationConfigV6 {
+    /// Project a current configuration onto the v6 layout (drops the
+    /// downlink codec and resync knobs) — used by tests that author legacy
+    /// fixtures.
+    fn from(cfg: SimulationConfig) -> SimulationConfigV6 {
+        SimulationConfigV6 {
+            dataset: cfg.dataset,
+            model: cfg.model,
+            heterogeneity: cfg.heterogeneity,
+            n_clients: cfg.n_clients,
+            clients_per_round: cfg.clients_per_round,
+            rounds: cfg.rounds,
+            local_epochs: cfg.local_epochs,
+            batch_size: cfg.batch_size,
+            lr: cfg.lr,
+            momentum: cfg.momentum,
+            seed: cfg.seed,
+            test_per_class: cfg.test_per_class,
+            client_samples_override: cfg.client_samples_override,
+            eval_every: cfg.eval_every,
+            selection: cfg.selection,
+            failure_prob: cfg.failure_prob,
+            lr_schedule: cfg.lr_schedule,
+            mode: cfg.mode,
+            device_het: cfg.device_het,
+            async_buffer: cfg.async_buffer,
+            staleness_exponent: cfg.staleness_exponent,
+            compression: cfg.compression,
+            error_feedback: cfg.error_feedback,
+            edges: cfg.edges,
+            availability_period: cfg.availability_period,
+            availability_on_fraction: cfg.availability_on_fraction,
+            churn_join_window: cfg.churn_join_window,
+            churn_residency: cfg.churn_residency,
+            deadline_secs: cfg.deadline_secs,
+        }
+    }
+}
+
+/// The pre-v7 per-client state layout (no broadcast sync epoch), kept for
+/// v3–v6 snapshot migration. `Serialize` stays derived so tests can author
+/// legacy fixtures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct ClientStateV6 {
+    pub last_round: Option<usize>,
+    pub historical: Option<Vec<f32>>,
+    pub correction: Option<Vec<f32>>,
+    pub residual: Option<Vec<f32>>,
+}
+
+impl ClientStateV6 {
+    /// The v3-era vacancy rule (no sync epoch to check).
+    fn is_vacant(&self) -> bool {
+        self.last_round.is_none()
+            && self.historical.is_none()
+            && self.correction.is_none()
+            && self.residual.is_none()
+    }
+}
+
+impl From<ClientStateV6> for ClientState {
+    /// Legacy clients never saw a delta downlink: no sync epoch.
+    fn from(s: ClientStateV6) -> ClientState {
+        ClientState {
+            last_round: s.last_round,
+            historical: s.historical,
+            correction: s.correction,
+            residual: s.residual,
+            sync_epoch: None,
+        }
+    }
+}
+
+impl From<ClientState> for ClientStateV6 {
+    /// Project a current state onto the v6 layout (drops the sync epoch)
+    /// — used by tests that author legacy fixtures.
+    fn from(s: ClientState) -> ClientStateV6 {
+        ClientStateV6 {
+            last_round: s.last_round,
+            historical: s.historical,
+            correction: s.correction,
+            residual: s.residual,
+        }
+    }
+}
+
+/// One sparse client-state entry of a v4–v6 snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct ClientEntryV6 {
+    pub client: usize,
+    pub state: ClientStateV6,
+}
+
+impl From<ClientEntryV6> for ClientEntry {
+    fn from(e: ClientEntryV6) -> ClientEntry {
+        ClientEntry {
+            client: e.client,
+            state: e.state.into(),
+        }
+    }
+}
+
+impl From<ClientEntry> for ClientEntryV6 {
+    fn from(e: ClientEntry) -> ClientEntryV6 {
+        ClientEntryV6 {
+            client: e.client,
+            state: e.state.into(),
+        }
+    }
+}
+
+/// The pre-v7 round-record layout (no downlink byte/ratio columns), kept
+/// for v3–v6 snapshot migration. `Serialize` stays derived so tests can
+/// author legacy fixtures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct RoundRecordV6 {
+    pub round: usize,
+    pub accuracy: Option<f64>,
+    pub mean_loss: f64,
+    pub cum_comm_bytes: f64,
+    pub cum_flops: f64,
+    pub selected: Vec<usize>,
+    pub virtual_time: f64,
+    pub mean_staleness: f64,
+    pub comm_bytes_up: f64,
+    pub compression_ratio: f64,
+}
+
+impl From<RoundRecord> for RoundRecordV6 {
+    /// Project a current record onto the v6 layout (drops the downlink
+    /// columns) — used by tests that author legacy fixtures.
+    fn from(r: RoundRecord) -> RoundRecordV6 {
+        RoundRecordV6 {
+            round: r.round,
+            accuracy: r.accuracy,
+            mean_loss: r.mean_loss,
+            cum_comm_bytes: r.cum_comm_bytes,
+            cum_flops: r.cum_flops,
+            selected: r.selected,
+            virtual_time: r.virtual_time,
+            mean_staleness: r.mean_staleness,
+            comm_bytes_up: r.comm_bytes_up,
+            compression_ratio: r.compression_ratio,
+        }
+    }
+}
+
+/// Migrate legacy records: a pre-v7 round's downlink bytes are exactly
+/// what its cumulative totals already accounted for —
+/// `cum_comm_bytes(t) − cum_comm_bytes(t−1) − comm_bytes_up(t)` (legacy
+/// downlinks were always dense, so the per-round split is recoverable) —
+/// and the downlink ratio is 1.0 by definition.
+fn migrate_records(records: Vec<RoundRecordV6>) -> Vec<RoundRecord> {
+    let mut prev_cum = 0.0f64;
+    records
+        .into_iter()
+        .map(|r| {
+            let comm_bytes_down = (r.cum_comm_bytes - prev_cum - r.comm_bytes_up).max(0.0);
+            prev_cum = r.cum_comm_bytes;
+            RoundRecord {
+                round: r.round,
+                accuracy: r.accuracy,
+                mean_loss: r.mean_loss,
+                cum_comm_bytes: r.cum_comm_bytes,
+                cum_flops: r.cum_flops,
+                selected: r.selected,
+                virtual_time: r.virtual_time,
+                mean_staleness: r.mean_staleness,
+                comm_bytes_up: r.comm_bytes_up,
+                compression_ratio: r.compression_ratio,
+                comm_bytes_down,
+                compression_ratio_down: 1.0,
+            }
+        })
+        .collect()
+}
+
+/// The pre-v7 scheduler job layout: its embedded outcome lacks the
+/// dense-downlink bit. Kept for v3–v6 snapshot migration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct LocalOutcomeV6 {
+    pub params: Vec<f32>,
+    pub n_samples: usize,
+    pub mean_loss: f64,
+    pub iterations: usize,
+    pub train_flops: f64,
+    pub aux: Option<Vec<f32>>,
+    pub staleness: usize,
+    pub agg_weight: f64,
+}
+
+impl From<LocalOutcomeV6> for crate::algorithms::LocalOutcome {
+    /// Legacy outcomes were dispatched under a dense downlink.
+    fn from(o: LocalOutcomeV6) -> crate::algorithms::LocalOutcome {
+        crate::algorithms::LocalOutcome {
+            params: o.params,
+            n_samples: o.n_samples,
+            mean_loss: o.mean_loss,
+            iterations: o.iterations,
+            train_flops: o.train_flops,
+            aux: o.aux,
+            staleness: o.staleness,
+            agg_weight: o.agg_weight,
+            dense_down: true,
+        }
+    }
+}
+
+impl From<crate::algorithms::LocalOutcome> for LocalOutcomeV6 {
+    /// Project a current outcome onto the v6 layout — used by tests that
+    /// author legacy fixtures.
+    fn from(o: crate::algorithms::LocalOutcome) -> LocalOutcomeV6 {
+        LocalOutcomeV6 {
+            params: o.params,
+            n_samples: o.n_samples,
+            mean_loss: o.mean_loss,
+            iterations: o.iterations,
+            train_flops: o.train_flops,
+            aux: o.aux,
+            staleness: o.staleness,
+            agg_weight: o.agg_weight,
+        }
+    }
+}
+
+/// One dispatched client of a pre-v7 snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct JobV6 {
+    pub client: usize,
+    pub dispatch_version: usize,
+    pub finish: f64,
+    pub outcome: LocalOutcomeV6,
+}
+
+impl From<JobV6> for crate::runtime::scheduler::Job {
+    fn from(j: JobV6) -> crate::runtime::scheduler::Job {
+        crate::runtime::scheduler::Job {
+            client: j.client,
+            dispatch_version: j.dispatch_version,
+            finish: j.finish,
+            outcome: j.outcome.into(),
+        }
+    }
+}
+
+impl From<crate::runtime::scheduler::Job> for JobV6 {
+    fn from(j: crate::runtime::scheduler::Job) -> JobV6 {
+        JobV6 {
+            client: j.client,
+            dispatch_version: j.dispatch_version,
+            finish: j.finish,
+            outcome: j.outcome.into(),
+        }
+    }
+}
+
+/// The pre-v7 scheduler-state layout. Kept for v3–v6 snapshot migration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+#[allow(missing_docs)]
+pub struct SchedulerStateV6 {
+    pub version: usize,
+    pub in_flight: Vec<JobV6>,
+    pub buffer: Vec<JobV6>,
+}
+
+impl From<SchedulerStateV6> for SchedulerState {
+    fn from(s: SchedulerStateV6) -> SchedulerState {
+        SchedulerState {
+            version: s.version,
+            in_flight: s.in_flight.into_iter().map(Into::into).collect(),
+            buffer: s.buffer.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl From<SchedulerState> for SchedulerStateV6 {
+    fn from(s: SchedulerState) -> SchedulerStateV6 {
+        SchedulerStateV6 {
+            version: s.version,
+            in_flight: s.in_flight.into_iter().map(Into::into).collect(),
+            buffer: s.buffer.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
 /// The v4 snapshot layout (sparse client states, but no edge tier), kept
 /// for migration. `Serialize` stays derived so tests can author v4
 /// fixtures.
@@ -333,16 +733,16 @@ pub struct CheckpointV4 {
     pub round: usize,
     /// Global model parameters.
     pub global: Vec<f32>,
-    /// Sparse per-client state.
-    pub states: Vec<ClientEntry>,
+    /// Sparse per-client state (legacy layout, no sync epoch).
+    pub states: Vec<ClientEntryV6>,
     /// Server-side algorithm state.
     pub server_state: Vec<Vec<f32>>,
-    /// Round records so far.
-    pub records: Vec<RoundRecord>,
+    /// Round records so far (legacy layout, no downlink columns).
+    pub records: Vec<RoundRecordV6>,
     /// Virtual-clock instant at capture.
     pub clock: f64,
-    /// Scheduler position.
-    pub scheduler: SchedulerState,
+    /// Scheduler position (legacy layout).
+    pub scheduler: SchedulerStateV6,
 }
 
 impl CheckpointV4 {
@@ -388,18 +788,18 @@ pub struct CheckpointV5 {
     pub round: usize,
     /// Global model parameters.
     pub global: Vec<f32>,
-    /// Sparse per-client state.
-    pub states: Vec<ClientEntry>,
+    /// Sparse per-client state (legacy layout, no sync epoch).
+    pub states: Vec<ClientEntryV6>,
     /// Server-side algorithm state.
     pub server_state: Vec<Vec<f32>>,
-    /// Round records so far.
-    pub records: Vec<RoundRecord>,
+    /// Round records so far (legacy layout, no downlink columns).
+    pub records: Vec<RoundRecordV6>,
     /// Root virtual-clock instant at capture.
     pub clock: f64,
     /// Per-edge virtual-clock instants at capture.
     pub edge_clocks: Vec<f64>,
-    /// Scheduler position.
-    pub scheduler: SchedulerState,
+    /// Scheduler position (legacy layout).
+    pub scheduler: SchedulerStateV6,
 }
 
 impl CheckpointV5 {
@@ -408,10 +808,10 @@ impl CheckpointV5 {
     /// zero out and the utility table starts empty. Always-on with a
     /// legacy (non-Oort) strategy takes the exact pre-availability
     /// selection path, so a migrated resume is bit-identical (pinned by a
-    /// test).
-    pub fn migrate(self) -> Checkpoint {
-        Checkpoint {
-            version: CHECKPOINT_VERSION,
+    /// test). Chain a further `.migrate()` to reach the current layout.
+    pub fn migrate(self) -> CheckpointV6 {
+        CheckpointV6 {
+            version: 6,
             config: self.config.into(),
             algorithm: self.algorithm,
             hyper: self.hyper,
@@ -424,6 +824,72 @@ impl CheckpointV5 {
             edge_clocks: self.edge_clocks,
             scheduler: self.scheduler,
             utility: Vec::new(),
+        }
+    }
+}
+
+/// The v6 snapshot layout (availability layer, but a dense-only
+/// downlink), kept for migration. `Serialize` stays derived so tests can
+/// author v6 fixtures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[doc(hidden)]
+pub struct CheckpointV6 {
+    /// Snapshot format version (always 6).
+    pub version: u32,
+    /// Engine configuration (legacy layout, no downlink knobs).
+    pub config: SimulationConfigV6,
+    /// Which method was running.
+    pub algorithm: AlgorithmKind,
+    /// Its hyper-parameters.
+    pub hyper: HyperParams,
+    /// Rounds completed.
+    pub round: usize,
+    /// Global model parameters.
+    pub global: Vec<f32>,
+    /// Sparse per-client state (legacy layout, no sync epoch).
+    pub states: Vec<ClientEntryV6>,
+    /// Server-side algorithm state.
+    pub server_state: Vec<Vec<f32>>,
+    /// Round records so far (legacy layout, no downlink columns).
+    pub records: Vec<RoundRecordV6>,
+    /// Root virtual-clock instant at capture.
+    pub clock: f64,
+    /// Per-edge virtual-clock instants at capture.
+    pub edge_clocks: Vec<f64>,
+    /// Scheduler position (legacy layout).
+    pub scheduler: SchedulerStateV6,
+    /// Server-side utility table.
+    pub utility: Vec<UtilityEntry>,
+}
+
+impl CheckpointV6 {
+    /// Migrate a v6 snapshot to the v7 layout: the federation it describes
+    /// broadcast the dense full model every round, so the downlink codec
+    /// zeroes out (off), sync epochs stay absent, the broadcast vectors
+    /// stay empty (restore re-anchors them to the global model on demand),
+    /// and each record's downlink bytes are recovered from the cumulative
+    /// totals it already carried. Dense downlink takes the exact legacy
+    /// engine path, so a migrated resume is bit-identical (pinned by a
+    /// test).
+    pub fn migrate(self) -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            config: self.config.into(),
+            algorithm: self.algorithm,
+            hyper: self.hyper,
+            round: self.round,
+            global: self.global,
+            states: self.states.into_iter().map(Into::into).collect(),
+            server_state: self.server_state,
+            records: migrate_records(self.records),
+            clock: self.clock,
+            edge_clocks: self.edge_clocks,
+            scheduler: self.scheduler.into(),
+            utility: self.utility,
+            broadcast_view: Vec::new(),
+            broadcast_last: Vec::new(),
+            broadcast_residual: Vec::new(),
+            broadcast_epoch: 0,
         }
     }
 }
@@ -445,16 +911,17 @@ pub struct CheckpointV3 {
     pub round: usize,
     /// Global model parameters.
     pub global: Vec<f32>,
-    /// Dense per-client state (one entry per client, participant or not).
-    pub states: Vec<ClientState>,
+    /// Dense per-client state (one entry per client, participant or not;
+    /// legacy layout, no sync epoch).
+    pub states: Vec<ClientStateV6>,
     /// Server-side algorithm state.
     pub server_state: Vec<Vec<f32>>,
-    /// Round records so far.
-    pub records: Vec<RoundRecord>,
+    /// Round records so far (legacy layout, no downlink columns).
+    pub records: Vec<RoundRecordV6>,
     /// Virtual-clock instant at capture.
     pub clock: f64,
-    /// Scheduler position.
-    pub scheduler: SchedulerState,
+    /// Scheduler position (legacy layout).
+    pub scheduler: SchedulerStateV6,
 }
 
 impl CheckpointV3 {
@@ -462,8 +929,8 @@ impl CheckpointV3 {
     /// (indistinguishable from never-participated) are dropped; everything
     /// else carries over unchanged, so a resumed synchronous run is
     /// bit-identical (see [`CHECKPOINT_VERSION`] for the semi-async
-    /// redispatch caveat). Chain `.migrate().migrate().migrate()` to
-    /// reach the current layout.
+    /// redispatch caveat). Chain `.migrate().migrate().migrate().migrate()`
+    /// to reach the current layout.
     pub fn migrate(self) -> CheckpointV4 {
         CheckpointV4 {
             version: 4,
@@ -477,7 +944,7 @@ impl CheckpointV3 {
                 .into_iter()
                 .enumerate()
                 .filter(|(_, s)| !s.is_vacant())
-                .map(|(client, state)| ClientEntry { client, state })
+                .map(|(client, state)| ClientEntryV6 { client, state })
                 .collect(),
             server_state: self.server_state,
             records: self.records,
@@ -525,6 +992,14 @@ impl Checkpoint {
                 .into_iter()
                 .map(|(client, loss)| UtilityEntry { client, loss })
                 .collect(),
+            broadcast_view: sim.broadcast_state().0.to_vec(),
+            broadcast_last: sim.broadcast_state().1.to_vec(),
+            broadcast_residual: sim
+                .broadcast_state()
+                .2
+                .map(<[f32]>::to_vec)
+                .unwrap_or_default(),
+            broadcast_epoch: sim.broadcast_state().3,
         }
     }
 
@@ -587,6 +1062,14 @@ impl Checkpoint {
         )?;
         sim.restore_runtime(self.clock, &self.edge_clocks, self.scheduler.clone())?;
         sim.restore_utility(self.utility.iter().map(|e| (e.client, e.loss)));
+        // after restore_snapshot: empty broadcast vectors (dense captures,
+        // pre-v7 migrations) re-anchor to the restored global model
+        sim.restore_broadcast(
+            self.broadcast_view.clone(),
+            self.broadcast_last.clone(),
+            (!self.broadcast_residual.is_empty()).then(|| self.broadcast_residual.clone()),
+            self.broadcast_epoch,
+        )?;
         Ok(sim)
     }
 
@@ -601,10 +1084,11 @@ impl Checkpoint {
     }
 
     /// Read a snapshot back, migrating the previous formats transparently:
-    /// v5 (no availability layer) resumes as the always-on federation it
-    /// was with an empty utility table, v4 (no edge tier) additionally
-    /// resumes as the single-edge federation it was, v3 (dense states)
-    /// additionally drops vacant entries.
+    /// v6 (no downlink compression) resumes as the dense-downlink
+    /// federation it was, v5 (no availability layer) additionally resumes
+    /// as the always-on federation it was with an empty utility table, v4
+    /// (no edge tier) additionally resumes as the single-edge federation
+    /// it was, v3 (dense states) additionally drops vacant entries.
     ///
     /// Every failure — unreadable file, malformed JSON, foreign `version`
     /// (including pre-versioning files, which lack the field entirely),
@@ -630,23 +1114,28 @@ impl Checkpoint {
                 })?;
                 Ok(ckpt)
             }
+            Some(6) => {
+                let legacy: CheckpointV6 = serde::Deserialize::from_value(&value)
+                    .map_err(|e| snapshot_err("snapshot does not fit the v6 layout", e))?;
+                Ok(legacy.migrate())
+            }
             Some(5) => {
                 let legacy: CheckpointV5 = serde::Deserialize::from_value(&value)
                     .map_err(|e| snapshot_err("snapshot does not fit the v5 layout", e))?;
-                Ok(legacy.migrate())
+                Ok(legacy.migrate().migrate())
             }
             Some(4) => {
                 let legacy: CheckpointV4 = serde::Deserialize::from_value(&value)
                     .map_err(|e| snapshot_err("snapshot does not fit the v4 layout", e))?;
-                Ok(legacy.migrate().migrate())
+                Ok(legacy.migrate().migrate().migrate())
             }
             Some(3) => {
                 let legacy: CheckpointV3 = serde::Deserialize::from_value(&value)
                     .map_err(|e| snapshot_err("snapshot does not fit the v3 layout", e))?;
-                Ok(legacy.migrate().migrate().migrate())
+                Ok(legacy.migrate().migrate().migrate().migrate())
             }
             other => Err(RestoreError::Snapshot(format!(
-                "checkpoint format version {} unsupported (expected {}, 5, 4, or 3)",
+                "checkpoint format version {} unsupported (expected {}, 6, 5, 4, or 3)",
                 other
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "<missing>".into()),
@@ -773,6 +1262,131 @@ mod tests {
         c.deadline_secs = 30.0;
         c.device_het = 4.0;
         resume_equals_straight_cfg(c, AlgorithmKind::FedAvg);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_under_delta_downlink_across_resync() {
+        use crate::compression::CompressionKind;
+        // capture at round 4 with resyncs at rounds 3 and 6: the resumed
+        // half must carry the broadcast view / delta reference / downlink
+        // residual and the per-client sync epochs across the boundary,
+        // then replay round 6's resync identically
+        let mut c = cfg(54);
+        c.downlink_compression = CompressionKind::Q8;
+        c.resync_interval = 3;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedTrip);
+        // bidirectional compression with uplink error feedback, plus churn
+        // joiners receiving on-demand dense bases after the resume point
+        let mut c = cfg(55);
+        c.compression = CompressionKind::Q8;
+        c.error_feedback = true;
+        c.downlink_compression = CompressionKind::Q4;
+        c.resync_interval = 5;
+        c.churn_join_window = 4;
+        c.churn_residency = 8;
+        resume_equals_straight_cfg(c, AlgorithmKind::FedAvg);
+    }
+
+    #[test]
+    fn checkpoint_carries_broadcast_state() {
+        use crate::compression::CompressionKind;
+        let hyper = HyperParams::default();
+        let mut c = cfg(56);
+        c.downlink_compression = CompressionKind::TopK(0.1);
+        c.resync_interval = 0; // never resync: the residual accumulates
+        let mut sim = Simulation::new(c, AlgorithmKind::FedAvg.build(&hyper));
+        for _ in 0..3 {
+            sim.run_round();
+        }
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        let n = ckpt.global.len();
+        assert_eq!(ckpt.broadcast_view.len(), n);
+        assert_eq!(ckpt.broadcast_last.len(), n);
+        assert_eq!(ckpt.broadcast_residual.len(), n, "top-k must drop mass");
+        assert!(
+            ckpt.states.iter().all(|e| e.state.sync_epoch == Some(0)),
+            "participants must be stamped with the broadcast epoch"
+        );
+        let restored = ckpt.restore().expect("self-consistent checkpoint");
+        let (view, last, residual, epoch) = restored.broadcast_state();
+        assert_eq!(view, &ckpt.broadcast_view[..]);
+        assert_eq!(last, &ckpt.broadcast_last[..]);
+        assert_eq!(residual, Some(&ckpt.broadcast_residual[..]));
+        assert_eq!(epoch, ckpt.broadcast_epoch);
+
+        // dense downlink: nothing to carry
+        let mut sim = Simulation::new(cfg(57), AlgorithmKind::FedAvg.build(&hyper));
+        sim.run_round();
+        let ckpt = Checkpoint::capture(&sim, AlgorithmKind::FedAvg, hyper);
+        assert!(ckpt.broadcast_view.is_empty());
+        assert!(ckpt.broadcast_last.is_empty());
+        assert!(ckpt.broadcast_residual.is_empty());
+        assert!(ckpt.states.iter().all(|e| e.state.sync_epoch.is_none()));
+    }
+
+    #[test]
+    fn v6_snapshot_migrates_as_dense_downlink_and_resumes_bit_identically() {
+        let hyper = HyperParams::default();
+        let config = cfg(58);
+        // straight 8-round run as ground truth
+        let mut straight = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        straight.run();
+
+        // 4 rounds, then author a v6 (pre-downlink) snapshot by hand
+        let mut first = Simulation::new(config, AlgorithmKind::FedTrip.build(&hyper));
+        for _ in 0..4 {
+            first.run_round();
+        }
+        let cur = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
+        let legacy = CheckpointV6 {
+            version: 6,
+            config: cur.config.into(),
+            algorithm: cur.algorithm,
+            hyper: cur.hyper,
+            round: cur.round,
+            global: cur.global.clone(),
+            states: cur.states.iter().cloned().map(Into::into).collect(),
+            server_state: cur.server_state.clone(),
+            records: cur.records.iter().cloned().map(Into::into).collect(),
+            clock: cur.clock,
+            edge_clocks: cur.edge_clocks.clone(),
+            scheduler: cur.scheduler.clone().into(),
+            utility: cur.utility.clone(),
+        };
+        let path = std::env::temp_dir().join("fedtrip_ckpt_v6_migration_test.json");
+        fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
+
+        let migrated = Checkpoint::load(&path).unwrap();
+        assert_eq!(migrated.version, CHECKPOINT_VERSION);
+        assert_eq!(
+            migrated.config.downlink_compression,
+            crate::compression::CompressionKind::None,
+            "v6 federations broadcast dense"
+        );
+        assert_eq!(migrated.config.resync_interval, 0);
+        assert!(migrated.broadcast_view.is_empty());
+        assert_eq!(migrated.broadcast_epoch, 0);
+        assert!(migrated.states.iter().all(|e| e.state.sync_epoch.is_none()));
+        // downlink bytes recovered from the cumulative totals
+        let mut prev = 0.0;
+        for (got, want) in migrated.records.iter().zip(&cur.records) {
+            assert!(
+                (got.comm_bytes_down - (want.cum_comm_bytes - prev - want.comm_bytes_up)).abs()
+                    < 1e-6,
+                "round {}: derived {} bytes",
+                got.round,
+                got.comm_bytes_down
+            );
+            assert_eq!(got.compression_ratio_down, 1.0);
+            prev = want.cum_comm_bytes;
+        }
+        let mut resumed = migrated.restore().expect("migrated checkpoint restores");
+        resumed.run();
+        assert_eq!(
+            straight.global_params(),
+            resumed.global_params(),
+            "v6-migrated resume diverged from the straight run"
+        );
     }
 
     #[test]
@@ -949,11 +1563,11 @@ mod tests {
             hyper: cur.hyper,
             round: cur.round,
             global: cur.global.clone(),
-            states: cur.states.clone(),
+            states: cur.states.iter().cloned().map(Into::into).collect(),
             server_state: cur.server_state.clone(),
-            records: cur.records.clone(),
+            records: cur.records.iter().cloned().map(Into::into).collect(),
             clock: cur.clock,
-            scheduler: cur.scheduler.clone(),
+            scheduler: cur.scheduler.clone().into(),
         };
         let path = std::env::temp_dir().join("fedtrip_ckpt_v4_migration_test.json");
         fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
@@ -994,12 +1608,12 @@ mod tests {
             hyper: cur.hyper,
             round: cur.round,
             global: cur.global.clone(),
-            states: cur.states.clone(),
+            states: cur.states.iter().cloned().map(Into::into).collect(),
             server_state: cur.server_state.clone(),
-            records: cur.records.clone(),
+            records: cur.records.iter().cloned().map(Into::into).collect(),
             clock: cur.clock,
             edge_clocks: cur.edge_clocks.clone(),
-            scheduler: cur.scheduler.clone(),
+            scheduler: cur.scheduler.clone().into(),
         };
         let path = std::env::temp_dir().join("fedtrip_ckpt_v5_migration_test.json");
         fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();
@@ -1033,8 +1647,15 @@ mod tests {
             first.run_round();
         }
         let cur = Checkpoint::capture(&first, AlgorithmKind::FedTrip, hyper);
-        let dense: Vec<ClientState> = (0..config.n_clients)
-            .map(|c| first.client_states().get(c).cloned().unwrap_or_default())
+        let dense: Vec<ClientStateV6> = (0..config.n_clients)
+            .map(|c| {
+                first
+                    .client_states()
+                    .get(c)
+                    .cloned()
+                    .unwrap_or_default()
+                    .into()
+            })
             .collect();
         let legacy = CheckpointV3 {
             version: 3,
@@ -1045,9 +1666,9 @@ mod tests {
             global: cur.global.clone(),
             states: dense,
             server_state: cur.server_state.clone(),
-            records: cur.records.clone(),
+            records: cur.records.iter().cloned().map(Into::into).collect(),
             clock: cur.clock,
-            scheduler: cur.scheduler.clone(),
+            scheduler: cur.scheduler.clone().into(),
         };
         let path = std::env::temp_dir().join("fedtrip_ckpt_v3_migration_test.json");
         fs::write(&path, serde_json::to_string(&legacy).unwrap()).unwrap();

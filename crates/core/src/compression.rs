@@ -1,13 +1,17 @@
-//! Communication compression for client→server updates.
+//! Communication compression for both halves of the wire: client→server
+//! updates and server→client delta broadcasts.
 //!
 //! FedTrip's resource argument is about *not* paying the overheads of
 //! stateful methods; this module attacks the remaining cost every method
-//! pays — shipping the model update itself. A [`Compressor`] turns the
-//! dense f32 update into a compact wire format with **exact** byte
+//! pays — shipping the model itself, in both directions. A [`Compressor`]
+//! turns a dense f32 vector into a compact wire format with **exact** byte
 //! accounting ([`Compressor::encoded_len`] is what the virtual clock and
-//! the cost tables charge), and an optional client-side error-feedback
-//! buffer accumulates what each round's encoding dropped so the lost mass
-//! is retransmitted later instead of vanishing.
+//! the cost tables charge), and an optional error-feedback buffer
+//! accumulates what each round's encoding dropped so the lost mass is
+//! retransmitted later instead of vanishing. The same [`error_feedback_step`]
+//! drives the client-side uplink buffer and the server-side residual that
+//! backs compressed downlink delta broadcasts (the engine encodes
+//! `Δ = w_global − w_broadcast` each round; see `DESIGN.md`).
 //!
 //! Three lossy codecs ship alongside the lossless [`Identity`]:
 //!

@@ -53,7 +53,9 @@ impl CostModel {
 /// Communication overhead is kept as directed *value counts* rather than
 /// bytes: the client→server half rides the same uplink as the model update
 /// and is therefore subject to the configured upload codec
-/// ([`crate::compression`]), while the server→client half stays dense f32.
+/// ([`crate::compression`]), and the server→client half likewise rides the
+/// broadcast — dense f32 by default, or through the downlink codec when
+/// delta broadcasts are enabled.
 /// [`AttachCost::extra_comm_bytes`] gives the uncompressed byte total the
 /// paper's Table VIII reports.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

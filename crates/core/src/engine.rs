@@ -130,6 +130,20 @@ pub struct SimulationConfig {
     /// semi-async mode (buffered aggregation already tolerates
     /// stragglers).
     pub deadline_secs: f32,
+    /// Downlink codec applied to the server's global-model broadcast.
+    /// [`CompressionKind::None`] keeps the dense full-model send of the
+    /// paper setting, bit-identical to the pre-delta engine. Any other
+    /// codec switches the broadcast to compressed **deltas** against the
+    /// last broadcast, with server-side error feedback: clients
+    /// reconstruct their view incrementally, periodic resyncs and
+    /// on-demand dense sends (joiners, pre-delta restores) keep the view
+    /// anchored.
+    pub downlink_compression: CompressionKind,
+    /// Periodic full-model resync interval `R` for delta broadcasts: every
+    /// `R`-th round the server sends the dense global model and clears the
+    /// downlink residual (`0` = never resync; joiners still receive dense
+    /// bases on demand). Ignored when the downlink is dense.
+    pub resync_interval: usize,
 }
 
 impl Default for SimulationConfig {
@@ -164,6 +178,8 @@ impl Default for SimulationConfig {
             churn_join_window: 0,
             churn_residency: 0,
             deadline_secs: 0.0,
+            downlink_compression: CompressionKind::None,
+            resync_interval: 0,
         }
     }
 }
@@ -266,6 +282,16 @@ pub struct RoundRecord {
     /// Uplink compression ratio: dense f32 upload bytes over encoded
     /// upload bytes (`1.0` when compression is off).
     pub compression_ratio: f64,
+    /// Downlink bytes this round: per folded client a dense full-model
+    /// send (resync rounds, joiners, pre-delta restores — and every round
+    /// when the downlink codec is off) or an encoded delta broadcast, plus
+    /// the root→edge broadcast relays when `E > 1` rides a lossy downlink
+    /// codec.
+    pub comm_bytes_down: f64,
+    /// Downlink compression ratio: dense f32 broadcast bytes over the
+    /// per-client bytes actually charged (`1.0` when the downlink is
+    /// dense; edge relays excluded).
+    pub compression_ratio_down: f64,
 }
 
 /// A clean (non-panicking) error for a checkpoint/config mismatch at
@@ -356,6 +382,23 @@ pub struct Simulation {
     edges: EdgeTier,
     scheduler: Box<dyn Scheduler>,
     compressor: Box<dyn Compressor>,
+    /// Downlink broadcast codec (`Identity` = dense full-model sends).
+    down_codec: Box<dyn Compressor>,
+    /// The clients' reconstructed view of the global model under delta
+    /// broadcasts; empty (unused) when the downlink is dense. Invariant
+    /// (pinned by `tests/downlink.rs`): `broadcast_view +
+    /// broadcast_residual == broadcast_last` after every broadcast.
+    broadcast_view: Vec<f32>,
+    /// Global parameters at the last broadcast — the delta reference
+    /// `w_broadcast_base`; empty when the downlink is dense.
+    broadcast_last: Vec<f32>,
+    /// Server-side error-feedback residual of the downlink codec:
+    /// `e' = (delta + e) - decode(encode(delta + e))`.
+    broadcast_residual: Option<Vec<f32>>,
+    /// Broadcast sync epoch — bumped on every periodic resync; clients
+    /// whose [`crate::algorithms::ClientState::sync_epoch`] lags receive an
+    /// on-demand dense base before any delta (checkpointed in v7).
+    broadcast_epoch: u64,
     /// Per-client statistical utility (most recent observed mean loss),
     /// feeding the Oort selection strategy; checkpointed in v6.
     utility: UtilityTable,
@@ -431,6 +474,15 @@ impl Simulation {
                 cfg.staleness_exponent,
             )),
         };
+        let down_codec = cfg.downlink_compression.build();
+        // delta broadcasts start from a shared base: the clients' view and
+        // the delta reference both equal the initial global model. Dense
+        // downlinks never touch either, so they stay empty.
+        let (broadcast_view, broadcast_last) = if down_codec.is_identity() {
+            (Vec::new(), Vec::new())
+        } else {
+            (global.clone(), global.clone())
+        };
         Simulation {
             cfg,
             algorithm,
@@ -451,6 +503,11 @@ impl Simulation {
             edges: EdgeTier::new(cfg.edges),
             scheduler,
             compressor: cfg.compression.build(),
+            down_codec,
+            broadcast_view,
+            broadcast_last,
+            broadcast_residual: None,
+            broadcast_epoch: 0,
             utility: UtilityTable::new(),
             participation: BTreeMap::new(),
         }
@@ -598,6 +655,60 @@ impl Simulation {
         self.edges.clock_times()
     }
 
+    /// Downlink broadcast state for checkpoint capture:
+    /// `(view, last, residual, epoch)`. The vectors are empty when the
+    /// downlink is dense — there is nothing to carry.
+    pub fn broadcast_state(&self) -> (&[f32], &[f32], Option<&[f32]>, u64) {
+        (
+            &self.broadcast_view,
+            &self.broadcast_last,
+            self.broadcast_residual.as_deref(),
+            self.broadcast_epoch,
+        )
+    }
+
+    /// Restore the downlink broadcast state from a checkpoint. Must run
+    /// *after* [`Simulation::restore_snapshot`] (it anchors empty snapshot
+    /// vectors — dense-downlink captures, pre-v7 migrations — to the
+    /// restored global model). A non-empty vector whose length does not
+    /// match the model returns a clean [`RestoreError`] and leaves the
+    /// simulation untouched.
+    pub fn restore_broadcast(
+        &mut self,
+        view: Vec<f32>,
+        last: Vec<f32>,
+        residual: Option<Vec<f32>>,
+        epoch: u64,
+    ) -> Result<(), RestoreError> {
+        let expected = self.global.len();
+        for v in [Some(&view), Some(&last), residual.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            if !v.is_empty() && v.len() != expected {
+                return Err(RestoreError::GlobalSizeMismatch {
+                    snapshot: v.len(),
+                    expected,
+                });
+            }
+        }
+        if !self.down_codec.is_identity() {
+            self.broadcast_view = if view.is_empty() {
+                self.global.clone()
+            } else {
+                view
+            };
+            self.broadcast_last = if last.is_empty() {
+                self.global.clone()
+            } else {
+                last
+            };
+            self.broadcast_residual = residual.filter(|r| !r.is_empty());
+        }
+        self.broadcast_epoch = epoch;
+        Ok(())
+    }
+
     /// Restore the runtime layer from a checkpoint: the exact virtual-clock
     /// instant (which can sit past the last record's fold time while
     /// arrivals were being collected), the per-edge clocks of the
@@ -642,9 +753,12 @@ impl Simulation {
         let t = self.round + 1;
 
         // accounting basis: every method exchanges |w| parameters each way
-        // plus the attach-cost extras. The downlink stays dense f32; the
-        // uplink (update + uplink extras) rides the configured codec, so
-        // the clock charges exactly the bytes the compressor would emit.
+        // plus the attach-cost extras. Each direction rides its own codec
+        // (dense = the identity codec), so the clock charges exactly the
+        // bytes the compressors would emit: the uplink encodes the update
+        // (+ uplink extras), the downlink encodes the broadcast delta —
+        // except for dense full-model sends (resyncs, joiners), charged at
+        // f32 width.
         let n_params = self.global.len();
         let cost = self.cost_model();
         let attach = self.algorithm.attach_cost(&cost);
@@ -657,13 +771,66 @@ impl Simulation {
             } else {
                 0
             }) as f64;
-        let comm_per_client = down_bytes + up_bytes;
-        // edge→root summary uplink: the merged fold has the wire shape of
-        // one client upload (parameter summary plus the method's aux
-        // statistic) and rides the same codec. Free when the single edge is
-        // colocated with the root (E = 1).
+        let delta_down = !self.down_codec.is_identity();
+        let delta_down_bytes = if delta_down {
+            (self.down_codec.encoded_len(n_params)
+                + if attach.down_params > 0 {
+                    self.down_codec.encoded_len(attach.down_params)
+                } else {
+                    0
+                }) as f64
+        } else {
+            down_bytes
+        };
+
+        // delta-broadcast step: encode the server's movement since the last
+        // broadcast through the downlink codec with error feedback, and
+        // advance the clients' reconstructed view by what survived the
+        // wire. Every `resync_interval`-th round sends the dense model
+        // instead, clearing the residual and bumping the sync epoch so
+        // every client re-anchors. Dense downlinks skip all of this — the
+        // pre-delta path, bit for bit.
+        let resync_round = delta_down
+            && self.cfg.resync_interval > 0
+            && t.is_multiple_of(self.cfg.resync_interval);
+        if delta_down {
+            if resync_round {
+                self.broadcast_view.clone_from(&self.global);
+                self.broadcast_last.clone_from(&self.global);
+                self.broadcast_residual = None;
+                self.broadcast_epoch += 1;
+            } else {
+                let delta = fedtrip_tensor::vecops::sub(&self.global, &self.broadcast_last);
+                let (decoded, _wire) = crate::compression::error_feedback_step(
+                    self.down_codec.as_ref(),
+                    &delta,
+                    &mut self.broadcast_residual,
+                    true,
+                );
+                fedtrip_tensor::vecops::axpy(&mut self.broadcast_view, 1.0, &decoded);
+                self.broadcast_last.clone_from(&self.global);
+            }
+        }
+
+        // edge links: the merged fold's summary uplink has the wire shape
+        // of one client upload and rides the uplink codec; under delta
+        // broadcasts the root additionally relays this round's broadcast
+        // (dense on resyncs, encoded delta otherwise) to each
+        // participating edge. Both are free when the single edge is
+        // colocated with the root (E = 1), and the relay adds exactly 0.0
+        // when the downlink is dense, keeping the legacy accounting
+        // bit-identical.
         let edge_uplink_bytes = if self.cfg.edges > 1 { up_bytes } else { 0.0 };
-        let edge_uplink_secs = crate::costs::edge_uplink_secs(edge_uplink_bytes);
+        let edge_down_bytes = if self.cfg.edges > 1 && delta_down {
+            if resync_round {
+                down_bytes
+            } else {
+                delta_down_bytes
+            }
+        } else {
+            0.0
+        };
+        let edge_uplink_secs = crate::costs::edge_uplink_secs(edge_uplink_bytes + edge_down_bytes);
 
         let StepOutput {
             fold,
@@ -678,14 +845,26 @@ impl Simulation {
                     partition: &self.partition,
                     template: &self.template,
                     compressor: self.compressor.as_ref(),
+                    down_delta: delta_down,
+                    resync_round,
+                    broadcast_epoch: self.broadcast_epoch,
                 },
                 sampler: &self.sampler,
                 profiles: &self.profiles,
                 algorithm: self.algorithm.as_ref(),
                 clock: &mut self.clock,
-                global: &self.global,
+                // under delta broadcasts clients train from their
+                // reconstructed view (what actually travelled the wire);
+                // the server's true model still aggregates and evaluates
+                global: if delta_down {
+                    &self.broadcast_view
+                } else {
+                    &self.global
+                },
                 states: &mut self.states,
-                comm_bytes_per_client: comm_per_client,
+                comm_up_bytes: up_bytes,
+                comm_down_dense_bytes: down_bytes,
+                comm_down_delta_bytes: delta_down_bytes,
                 edges: &mut self.edges,
                 edge_uplink_secs,
                 utility: &self.utility,
@@ -694,8 +873,15 @@ impl Simulation {
             self.scheduler.step(t, &mut rt)
         };
 
+        let mut down_bytes_round = 0.0;
         for o in &folded {
-            self.cum_comm_bytes += comm_per_client;
+            let down = if o.dense_down {
+                down_bytes
+            } else {
+                delta_down_bytes
+            };
+            down_bytes_round += down;
+            self.cum_comm_bytes += down + up_bytes;
             self.cum_flops += o.train_flops;
         }
         // utility bookkeeping for Oort selection, plus per-client fold
@@ -720,10 +906,13 @@ impl Simulation {
                 self.utility.evict(c);
             }
         }
-        // each participating edge shipped one summary to the root (adds
+        // each participating edge shipped one summary to the root, and —
+        // under delta broadcasts — received one broadcast relay (both add
         // exactly 0.0 when E = 1, keeping the flat accounting bit-identical)
         let edge_uplink_total = edges_active as f64 * edge_uplink_bytes;
+        let edge_down_total = edges_active as f64 * edge_down_bytes;
         self.cum_comm_bytes += edge_uplink_total;
+        self.cum_comm_bytes += edge_down_total;
         let mean_loss =
             folded.iter().map(|o| o.mean_loss).sum::<f64>() / folded.len().max(1) as f64;
         let mean_staleness =
@@ -750,6 +939,12 @@ impl Simulation {
             mean_staleness,
             comm_bytes_up: up_bytes * folded.len() as f64 + edge_uplink_total,
             compression_ratio: dense_up_bytes / up_bytes,
+            comm_bytes_down: down_bytes_round + edge_down_total,
+            compression_ratio_down: if down_bytes_round > 0.0 {
+                down_bytes * folded.len() as f64 / down_bytes_round
+            } else {
+                1.0
+            },
         });
         self.round = t;
         self.records.last().expect("just pushed") // lint:allow(panic) — record pushed on the line above
@@ -1020,6 +1215,8 @@ mod tests {
             mean_staleness: 0.0,
             comm_bytes_up: 0.0,
             compression_ratio: 1.0,
+            comm_bytes_down: 0.0,
+            compression_ratio_down: 1.0,
         };
         let recs = vec![rec(1, Some(0.3), 10.0), rec(2, Some(0.6), 25.0)];
         assert_eq!(rounds_to_accuracy(&recs, 0.5), Some(2));
@@ -1268,6 +1465,113 @@ mod tests {
             .client_states()
             .iter()
             .all(|(_, st)| st.residual.is_none()));
+    }
+
+    #[test]
+    fn delta_downlink_shrinks_comm_and_reports_ratio() {
+        // full participation (K = N) makes the dense/delta schedule exact:
+        // round 1 all joiners (dense), resyncs at 3 and 6 (dense), deltas
+        // everywhere else
+        let mut cfg = tiny_cfg(24);
+        cfg.clients_per_round = 6;
+        let mut delta_cfg = cfg;
+        delta_cfg.downlink_compression = crate::compression::CompressionKind::Q8;
+        delta_cfg.resync_interval = 3;
+        delta_cfg.rounds = 6;
+        let mut dense_cfg = cfg;
+        dense_cfg.rounds = 6;
+        let mut dense = Simulation::new(
+            dense_cfg,
+            AlgorithmKind::FedAvg.build(&HyperParams::default()),
+        );
+        let mut delta = Simulation::new(
+            delta_cfg,
+            AlgorithmKind::FedAvg.build(&HyperParams::default()),
+        );
+        dense.run();
+        delta.run();
+        let d = dense.records().last().unwrap();
+        let q = delta.records().last().unwrap();
+        assert!(
+            q.cum_comm_bytes < d.cum_comm_bytes,
+            "{} vs {}",
+            q.cum_comm_bytes,
+            d.cum_comm_bytes
+        );
+        // dense downlink reports exactly 1.0 every round
+        for r in dense.records() {
+            assert_eq!(r.compression_ratio_down, 1.0);
+            assert!(r.comm_bytes_down > 0.0);
+        }
+        // delta rounds (2, 4, 5) charge the q8-encoded broadcast — just
+        // under 4x smaller; dense rounds (1 joiners, 3 and 6 resyncs)
+        // report exactly 1.0
+        for r in delta.records() {
+            match r.round {
+                2 | 4 | 5 => assert!(
+                    r.compression_ratio_down > 3.0,
+                    "round {}: {}",
+                    r.round,
+                    r.compression_ratio_down
+                ),
+                _ => assert_eq!(
+                    r.compression_ratio_down, 1.0,
+                    "round {} should be dense",
+                    r.round
+                ),
+            }
+        }
+        // resync round 3 re-anchors: epoch bumped twice over 6 rounds
+        assert_eq!(delta.broadcast_state().3, 2);
+    }
+
+    #[test]
+    fn every_round_resync_matches_dense_downlink_records() {
+        // resync_interval = 1 forces a dense broadcast every round: the
+        // delta machinery runs but every send is the full model, so the
+        // learning trajectory and the accounting must equal the dense
+        // downlink bit for bit (E = 1).
+        let cfg = tiny_cfg(25);
+        let mut delta_cfg = cfg;
+        delta_cfg.downlink_compression = crate::compression::CompressionKind::Q8;
+        delta_cfg.resync_interval = 1;
+        let mut dense = Simulation::new(cfg, AlgorithmKind::FedTrip.build(&HyperParams::default()));
+        let mut delta = Simulation::new(
+            delta_cfg,
+            AlgorithmKind::FedTrip.build(&HyperParams::default()),
+        );
+        dense.run();
+        delta.run();
+        assert_eq!(dense.global_params(), delta.global_params());
+        for (a, b) in dense.records().iter().zip(delta.records()) {
+            assert_eq!(a.accuracy, b.accuracy);
+            assert_eq!(a.cum_comm_bytes, b.cum_comm_bytes);
+            assert_eq!(a.comm_bytes_down, b.comm_bytes_down);
+            assert_eq!(a.virtual_time, b.virtual_time);
+        }
+    }
+
+    #[test]
+    fn broadcast_view_plus_residual_equals_last_broadcast() {
+        // server-side error-feedback mass conservation: after every round,
+        // view + residual == the global model as of the last broadcast
+        let mut cfg = tiny_cfg(26);
+        cfg.downlink_compression = crate::compression::CompressionKind::Q4;
+        cfg.resync_interval = 0;
+        cfg.rounds = 5;
+        let mut s = Simulation::new(cfg, AlgorithmKind::FedAvg.build(&HyperParams::default()));
+        for _ in 0..5 {
+            s.run_round();
+            let (view, last, residual, _) = s.broadcast_state();
+            let zero = vec![0.0f32; view.len()];
+            let residual = residual.unwrap_or(&zero);
+            for ((&v, &r), &l) in view.iter().zip(residual).zip(last) {
+                assert!(
+                    (v + r - l).abs() < 1e-3,
+                    "view {v} + residual {r} != last broadcast {l}"
+                );
+            }
+        }
     }
 
     #[test]

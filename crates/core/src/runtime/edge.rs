@@ -35,6 +35,7 @@
 //!     aux: None,
 //!     staleness: 0,
 //!     agg_weight: 1.0,
+//!     dense_down: true,
 //! };
 //!
 //! // four clients shard across two edges (client mod E); the root merge
@@ -204,6 +205,7 @@ impl EdgeTier {
                     mean_loss: o.mean_loss,
                     train_flops: o.train_flops,
                     staleness: o.staleness,
+                    dense_down: o.dense_down,
                 });
                 // `o` (and its full parameter vector) drops here
             }
@@ -250,6 +252,7 @@ mod tests {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

@@ -41,6 +41,9 @@
 //!     partition: &partition,
 //!     template: &template,
 //!     compressor: &Identity,
+//!     down_delta: false,
+//!     resync_round: false,
+//!     broadcast_epoch: 0,
 //! };
 //!
 //! // train clients 1 and 3 in parallel from the initial global model
@@ -81,6 +84,18 @@ pub struct ClientExecutor<'a> {
     /// (the lossless [`Identity`](crate::compression::Identity) skips the
     /// round trip entirely).
     pub compressor: &'a dyn Compressor,
+    /// Whether the downlink broadcasts compressed **deltas** (a non-identity
+    /// downlink codec). When `false` every broadcast is a dense full-model
+    /// send and per-client sync epochs are never touched — the pre-delta
+    /// path, bit for bit.
+    pub down_delta: bool,
+    /// Whether this round is a periodic full-model resync (every client
+    /// receives the dense base regardless of its sync epoch).
+    pub resync_round: bool,
+    /// The server's current broadcast sync epoch: clients whose
+    /// [`ClientState::sync_epoch`] differs (joiners, restores from pre-delta
+    /// checkpoints) receive an on-demand dense base before any delta.
+    pub broadcast_epoch: u64,
 }
 
 impl ClientExecutor<'_> {
@@ -113,6 +128,8 @@ impl ClientExecutor<'_> {
         let dataset = self.dataset;
         let template = self.template;
         let compressor = self.compressor;
+        let (down_delta, resync_round, broadcast_epoch) =
+            (self.down_delta, self.resync_round, self.broadcast_epoch);
         let round_lr = cfg.lr_schedule.lr_at(cfg.lr, round);
 
         // One template clone per worker group, not per client: the network
@@ -148,6 +165,17 @@ impl ClientExecutor<'_> {
                         refs: &shard[..],
                     };
                     let mut outcome = algorithm.local_train(&mut net, &data, state, &ctx);
+                    // delta-downlink bookkeeping: a client whose view is not
+                    // in the current sync epoch (first participation, churn
+                    // joiner, pre-delta restore) — or anyone on a resync
+                    // round — received the dense base; everyone else got
+                    // the compressed delta. Dense downlinks never touch the
+                    // epoch, so the legacy state layout is preserved.
+                    if down_delta {
+                        outcome.dense_down =
+                            resync_round || state.sync_epoch != Some(broadcast_epoch);
+                        state.sync_epoch = Some(broadcast_epoch);
+                    }
                     if !compressor.is_identity() {
                         compress_outcome(
                             &mut outcome,

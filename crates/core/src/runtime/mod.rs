@@ -28,10 +28,13 @@
 //!   summaries with the associative `ServerFold::merge` across rayon
 //!   threads. `E = 1` (the default) is the flat fold, bit for bit.
 //!
-//! The upload codecs of [`crate::compression`] plug in at the
-//! executor→scheduler boundary: outcomes are encoded/decoded before any
-//! scheduler sees them, and both schedulers charge the *encoded* uplink
-//! bytes to the clock through `RuntimeCtx::comm_bytes_per_client`.
+//! The codecs of [`crate::compression`] plug in at both ends of the wire:
+//! uplinks are encoded/decoded at the executor→scheduler boundary before
+//! any scheduler sees them, downlink delta broadcasts are encoded by the
+//! engine before the executor fans out, and both schedulers charge the
+//! *encoded* bytes of each direction to the clock through
+//! `RuntimeCtx::comm_bytes_for` (dense full-model sends — joiners,
+//! resyncs — charge f32 width).
 //!
 //! Every layer is O(K) per server step and O(participants) in resident
 //! memory — client states live in a sparse store, partition shards and

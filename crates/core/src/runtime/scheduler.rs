@@ -68,9 +68,18 @@ pub struct RuntimeCtx<'a> {
     pub global: &'a [f32],
     /// Sparse per-client persistent states.
     pub states: &'a mut ClientStateStore,
-    /// Bytes one client exchanges with the server per round
-    /// (`2|w|` + method extras), for link-time accounting.
-    pub comm_bytes_per_client: f64,
+    /// Encoded bytes one client **uploads** to the server per round
+    /// (`|w|` + method extras, through the uplink codec), for link-time
+    /// accounting.
+    pub comm_up_bytes: f64,
+    /// Downlink bytes of a **dense** full-model broadcast (`|w|` + method
+    /// extras, raw f32) — what a client on a dense downlink, a resync
+    /// round, or an on-demand base send receives.
+    pub comm_down_dense_bytes: f64,
+    /// Downlink bytes of a compressed **delta** broadcast (through the
+    /// downlink codec). Equals `comm_down_dense_bytes` when the downlink is
+    /// dense, so the legacy duration formula is reproduced bit for bit.
+    pub comm_down_delta_bytes: f64,
     /// The hierarchical aggregation tier (a single-edge tier is the flat
     /// fold, bit for bit).
     pub edges: &'a mut EdgeTier,
@@ -91,6 +100,18 @@ pub struct RuntimeCtx<'a> {
 }
 
 impl RuntimeCtx<'_> {
+    /// Total bytes one client exchanges with the server for `outcome`'s
+    /// round: the encoded uplink plus whichever broadcast it received
+    /// (dense base or compressed delta, per [`LocalOutcome::dense_down`]).
+    pub fn comm_bytes_for(&self, outcome: &LocalOutcome) -> f64 {
+        self.comm_up_bytes
+            + if outcome.dense_down {
+                self.comm_down_dense_bytes
+            } else {
+                self.comm_down_delta_bytes
+            }
+    }
+
     /// Stream a cohort of outcomes (already in arrival order, with
     /// `staleness` / `agg_weight` assigned) through the edge tier: outcomes
     /// shard across the edge aggregators by `client mod E`, each shard
@@ -124,6 +145,10 @@ pub struct FoldStats {
     pub train_flops: f64,
     /// Global-model versions between dispatch and fold.
     pub staleness: usize,
+    /// Whether this client received a dense full-model broadcast (rather
+    /// than a compressed delta) this round — drives the engine's downlink
+    /// byte accounting.
+    pub dense_down: bool,
 }
 
 /// What one server step folded.
@@ -213,7 +238,7 @@ impl Scheduler for Synchronous {
             .map(|(o, &c)| {
                 rt.profiles
                     .get(c)
-                    .duration(o.train_flops, rt.comm_bytes_per_client)
+                    .duration(o.train_flops, rt.comm_bytes_for(o))
             })
             .collect();
         // deadline cutoff: clients that would report after the deadline
@@ -326,7 +351,7 @@ impl SemiAsync {
             let duration = rt
                 .profiles
                 .get(client)
-                .duration(outcome.train_flops, rt.comm_bytes_per_client);
+                .duration(outcome.train_flops, rt.comm_bytes_for(&outcome));
             self.state.in_flight.push(Job {
                 client,
                 dispatch_version: self.state.version,

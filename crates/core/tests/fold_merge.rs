@@ -43,6 +43,7 @@ fn outcome(base: f32, idx: usize, n_samples: usize, agg_weight: f32) -> LocalOut
         aux: Some(aux),
         staleness: 0,
         agg_weight: agg_weight as f64,
+        dense_down: true,
     }
 }
 

@@ -16,6 +16,7 @@ fn outcome(params: Vec<f32>, n_samples: usize, staleness: usize, exponent: f32) 
         aux: None,
         staleness,
         agg_weight: staleness_weight(staleness, exponent),
+        dense_down: true,
     }
 }
 

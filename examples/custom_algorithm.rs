@@ -68,6 +68,7 @@ impl Algorithm for FedTripDecay {
             aux: None,
             staleness: 0,
             agg_weight: 1.0,
+            dense_down: true,
         }
     }
 

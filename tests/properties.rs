@@ -17,6 +17,7 @@ fn outcome(params: Vec<f32>, n: usize) -> LocalOutcome {
         aux: None,
         staleness: 0,
         agg_weight: 1.0,
+        dense_down: true,
     }
 }
 
